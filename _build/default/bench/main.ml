@@ -1,0 +1,242 @@
+(* Benchmark harness:
+
+     dune exec bench/main.exe                 micro + all figures (quick)
+     dune exec bench/main.exe -- --full       micro + all figures (full)
+     dune exec bench/main.exe -- --fig 6      one figure (quick)
+     dune exec bench/main.exe -- --fig 6 --full
+     dune exec bench/main.exe -- --micro      Bechamel microbenchmarks only
+     dune exec bench/main.exe -- --ablation   cost-model ablation sweep
+
+   The figure drivers regenerate every figure of the paper's evaluation
+   (Figs. 2-12) on the simulated 8-core runtime; the microbenchmarks time
+   the real-hardware hot paths (transactional read/write/commit for
+   TinySTM-WB/WT and TL2, plus lock-word and Bloom-filter primitives). *)
+
+open Bechamel
+open Toolkit
+
+module R = Tstm_runtime.Runtime_real
+module Ts = Tinystm.Make (R)
+module Tl = Tstm_tl2.Tl2.Make (R)
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks (Bechamel, real runtime)                            *)
+(* ------------------------------------------------------------------ *)
+
+let make_ts strategy =
+  let t =
+    Ts.create
+      ~config:(Tinystm.Config.make ~n_locks:4096 ~strategy ())
+      ~memory_words:65536 ()
+  in
+  let base = Ts.atomically t (fun tx -> Ts.alloc tx 1024) in
+  Ts.atomically t (fun tx ->
+      for i = 0 to 1023 do
+        Ts.write tx (base + i) i
+      done);
+  (t, base)
+
+let make_tl () =
+  let t = Tl.create ~n_locks:4096 ~memory_words:65536 () in
+  let base = Tl.atomically t (fun tx -> Tl.alloc tx 1024) in
+  Tl.atomically t (fun tx ->
+      for i = 0 to 1023 do
+        Tl.write tx (base + i) i
+      done);
+  (t, base)
+
+let micro_tests () =
+  let wb, wb_base = make_ts Tinystm.Config.Write_back in
+  let wt, wt_base = make_ts Tinystm.Config.Write_through in
+  let tl, tl_base = make_tl () in
+  let reads_tx name t read atomically base =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           atomically t (fun tx ->
+               let s = ref 0 in
+               for i = 0 to 99 do
+                 s := !s + read tx (base + i)
+               done;
+               !s)))
+  in
+  let update_tx name t read write atomically base =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           atomically t (fun tx ->
+               for i = 0 to 9 do
+                 write tx (base + i) (read tx (base + i) + 1)
+               done)))
+  in
+  [
+    Test.make ~name:"lockenc encode+decode"
+      (Staged.stage (fun () ->
+           let w = Tinystm.Lockenc.unlocked ~version:123456 ~incarnation:3 in
+           Tinystm.Lockenc.version w + Tinystm.Lockenc.incarnation w));
+    Test.make ~name:"bloom add+query"
+      (Staged.stage
+         (let b = Tstm_tl2.Bloom.create () in
+          fun () ->
+            Tstm_tl2.Bloom.clear b;
+            Tstm_tl2.Bloom.add b 42;
+            Tstm_tl2.Bloom.may_contain b 42));
+    reads_tx "tinystm-wb: 100-read tx" wb Ts.read
+      (fun t f -> Ts.atomically t f)
+      wb_base;
+    reads_tx "tinystm-wb: 100-read ro-tx" wb Ts.read
+      (fun t f -> Ts.atomically ~read_only:true t f)
+      wb_base;
+    reads_tx "tl2: 100-read tx" tl Tl.read (fun t f -> Tl.atomically t f) tl_base;
+    update_tx "tinystm-wb: 10-rmw tx" wb Ts.read Ts.write
+      (fun t f -> Ts.atomically t f)
+      wb_base;
+    update_tx "tinystm-wt: 10-rmw tx" wt Ts.read Ts.write
+      (fun t f -> Ts.atomically t f)
+      wt_base;
+    update_tx "tl2: 10-rmw tx" tl Tl.read Tl.write
+      (fun t f -> Tl.atomically t f)
+      tl_base;
+  ]
+
+let run_micro () =
+  print_endline "=== Microbenchmarks (real runtime, single domain) ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-28s %10.1f ns/run\n%!" name est
+          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+        analyzed)
+    (micro_tests ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Cost-model ablation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* DESIGN.md calls out the simulator cost constants as a design choice; this
+   sweep shows how the headline comparison (Fig. 3b: list, 256 elements,
+   20% updates, 8 threads) responds to each of them. *)
+let run_ablation () =
+  print_endline "=== Cost-model ablation (list 256, 20% updates, 8 threads) ===";
+  let module CM = Tstm_runtime.Cache_model in
+  let point label params =
+    Tstm_runtime.Runtime_sim.configure params;
+    let spec =
+      Tstm_harness.Workload.make ~structure:Tstm_harness.Workload.List
+        ~initial_size:256 ~update_pct:20.0 ~nthreads:8 ~duration:0.002 ()
+    in
+    let wb =
+      Tstm_harness.Scenario.run_intset ~stm:Tstm_harness.Scenario.Tinystm_wb
+        spec
+    in
+    let tl =
+      Tstm_harness.Scenario.run_intset ~stm:Tstm_harness.Scenario.Tl2 spec
+    in
+    Printf.printf "%-34s WB %8.0f tx/s   TL2 %8.0f tx/s   (WB/TL2 %.2f)\n%!"
+      label wb.Tstm_harness.Workload.throughput
+      tl.Tstm_harness.Workload.throughput
+      (wb.Tstm_harness.Workload.throughput
+      /. tl.Tstm_harness.Workload.throughput)
+  in
+  point "baseline" CM.default;
+  point "line_transfer x2" { CM.default with CM.line_transfer = 200 };
+  point "line_transfer /2" { CM.default with CM.line_transfer = 50 };
+  point "cas_extra x3" { CM.default with CM.cas_extra = 60 };
+  point "no L1 (flat hierarchy)" { CM.default with CM.l1_miss = 0 };
+  point "tiny private cache (16 KiB)"
+    { CM.default with CM.private_cache_lines = 256; CM.l1_lines = 64 };
+  (* Contention-management alternative of §3.1: bounded wait instead of
+     immediate abort on a foreign lock. *)
+  let wait_point attempts =
+    Tstm_runtime.Runtime_sim.configure CM.default;
+    let spec =
+      Tstm_harness.Workload.make ~structure:Tstm_harness.Workload.List
+        ~initial_size:256 ~update_pct:20.0 ~nthreads:8 ~duration:0.002 ()
+    in
+    let module S = Tstm_harness.Scenario in
+    let t =
+      S.Ts.create
+        ~config:(Tinystm.Config.make ())
+        ~conflict_wait:attempts
+        ~memory_words:(Tstm_harness.Workload.memory_words_for spec)
+        ()
+    in
+    let module D = Tstm_harness.Driver.Make (Tstm_runtime.Runtime_sim) (S.Ts) in
+    let ops = D.make_structure t spec.Tstm_harness.Workload.structure in
+    D.populate t ops spec;
+    let r = D.run t ops spec in
+    Printf.printf "conflict_wait=%-3d                  WB %8.0f tx/s   aborts %d\n%!"
+      attempts r.Tstm_harness.Workload.throughput
+      r.Tstm_harness.Workload.aborts
+  in
+  List.iter wait_point [ 0; 4; 32 ];
+  (* The paper's §3.2 generalization: a second, coarser counter level over
+     the hierarchical array (validation-heavy list workload). *)
+  let two_level_point (h, h2) =
+    Tstm_runtime.Runtime_sim.configure CM.default;
+    let spec =
+      Tstm_harness.Workload.make ~structure:Tstm_harness.Workload.List
+        ~initial_size:1024 ~update_pct:20.0 ~nthreads:8 ~duration:0.002 ()
+    in
+    let r =
+      Tstm_harness.Scenario.run_intset ~stm:Tstm_harness.Scenario.Tinystm_wb
+        ~n_locks:(1 lsl 16) ~shifts:2 ~hierarchy:h ~hierarchy2:h2 spec
+    in
+    let s = r.Tstm_harness.Workload.stats in
+    Printf.printf
+      "hierarchy h=%-3d h2=%-3d            WB %8.0f tx/s   val locks: %d processed, %d skipped\n%!"
+      h h2 r.Tstm_harness.Workload.throughput
+      s.Tstm_tm.Tm_stats.val_locks_processed
+      s.Tstm_tm.Tm_stats.val_locks_skipped
+  in
+  List.iter two_level_point [ (1, 1); (64, 1); (64, 8); (256, 16) ];
+  Tstm_runtime.Runtime_sim.configure CM.default;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_figures profile figs =
+  List.iter
+    (fun n ->
+      Printf.printf "--- Figure %d: %s [%s profile] ---\n%!" n
+        (Tstm_harness.Figures.describe n)
+        profile.Tstm_harness.Figures.label;
+      let t0 = Unix.gettimeofday () in
+      let outputs = Tstm_harness.Figures.run_figure profile n in
+      List.iter Tstm_harness.Figures.print_output outputs;
+      Printf.printf "(figure %d done in %.1fs)\n\n%!" n
+        (Unix.gettimeofday () -. t0))
+    figs
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let full = List.mem "--full" args in
+  let profile =
+    if full then Tstm_harness.Figures.full else Tstm_harness.Figures.quick
+  in
+  let rec fig_arg = function
+    | "--fig" :: n :: _ -> Some (int_of_string n)
+    | _ :: rest -> fig_arg rest
+    | [] -> None
+  in
+  if List.mem "--micro" args then run_micro ()
+  else if List.mem "--ablation" args then run_ablation ()
+  else
+    match fig_arg args with
+    | Some n -> run_figures profile [ n ]
+    | None ->
+        run_micro ();
+        run_ablation ();
+        run_figures profile Tstm_harness.Figures.fig_numbers

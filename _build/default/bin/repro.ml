@@ -1,0 +1,280 @@
+(* Command-line entry point: regenerate paper figures or run individual
+   experiment points on the simulated multicore runtime. *)
+
+open Cmdliner
+module F = Tstm_harness.Figures
+module W = Tstm_harness.Workload
+module S = Tstm_harness.Scenario
+
+let profile_arg =
+  let profile_enum = Arg.enum [ ("quick", F.quick); ("full", F.full) ] in
+  Arg.(
+    value
+    & opt profile_enum F.quick
+    & info [ "p"; "profile" ] ~docv:"PROFILE"
+        ~doc:"Experiment scale: $(b,quick) (smoke) or $(b,full) (paper-size).")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR"
+        ~doc:"Also write each table/surface as a CSV file into $(docv).")
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    name
+
+let save_csv dir (o : F.output) =
+  let name, contents =
+    match o with
+    | F.Table t -> (t.Tstm_util.Series.title, Tstm_util.Series.table_to_csv t)
+    | F.Surface s ->
+        (s.Tstm_util.Series.s_title, Tstm_util.Series.surface_to_csv s)
+  in
+  let path = Filename.concat dir (sanitize name ^ ".csv") in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let run_and_print ?csv profile n =
+  Printf.printf "--- Figure %d: %s [%s profile] ---\n%!" n (F.describe n)
+    profile.F.label;
+  let t0 = Unix.gettimeofday () in
+  let outputs = F.run_figure profile n in
+  List.iter F.print_output outputs;
+  (match csv with
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      List.iter (save_csv dir) outputs;
+      Printf.printf "(CSV written to %s/)\n" dir
+  | None -> ());
+  Printf.printf "(figure %d done in %.1fs)\n\n%!" n (Unix.gettimeofday () -. t0)
+
+let fig_cmd =
+  let fig_n =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"N" ~doc:"Figure number (2-12).")
+  in
+  let run profile csv n =
+    if List.mem n F.fig_numbers then (run_and_print ?csv profile n; `Ok ())
+    else `Error (false, Printf.sprintf "no figure %d (valid: 2-12)" n)
+  in
+  Cmd.v (Cmd.info "fig" ~doc:"Regenerate one paper figure")
+    Term.(ret (const run $ profile_arg $ csv_arg $ fig_n))
+
+let all_cmd =
+  let run profile csv = List.iter (run_and_print ?csv profile) F.fig_numbers in
+  Cmd.v (Cmd.info "all" ~doc:"Regenerate every figure (2-12)")
+    Term.(const run $ profile_arg $ csv_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun n -> Printf.printf "fig %2d  %s\n" n (F.describe n))
+      F.fig_numbers
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the reproducible figures") Term.(const run $ const ())
+
+let structure_arg =
+  let sconv =
+    Arg.enum
+      [
+        ("list", W.List);
+        ("rbtree", W.Rbtree);
+        ("skiplist", W.Skiplist);
+        ("hashset", W.Hashset);
+      ]
+  in
+  Arg.(
+    value & opt sconv W.List
+    & info [ "s"; "structure" ] ~docv:"STRUCT"
+        ~doc:"Data structure: list, rbtree, skiplist or hashset.")
+
+let stm_arg =
+  let mconv =
+    Arg.enum [ ("wb", S.Tinystm_wb); ("wt", S.Tinystm_wt); ("tl2", S.Tl2) ]
+  in
+  Arg.(
+    value & opt mconv S.Tinystm_wb
+    & info [ "stm" ] ~docv:"STM" ~doc:"STM: wb, wt or tl2.")
+
+let size_arg =
+  Arg.(value & opt int 256 & info [ "n"; "size" ] ~doc:"Initial structure size.")
+
+let updates_arg =
+  Arg.(value & opt float 20.0 & info [ "u"; "updates" ] ~doc:"Update rate (%).")
+
+let overwrites_arg =
+  Arg.(value & opt float 0.0 & info [ "overwrites" ] ~doc:"Overwrite-transaction rate (%).")
+
+let threads_arg =
+  Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Simulated CPUs.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 0.005
+    & info [ "d"; "duration" ] ~doc:"Measured virtual seconds.")
+
+let locks_exp_arg =
+  Arg.(value & opt int 16 & info [ "locks-exp" ] ~doc:"log2 of the lock-array size.")
+
+let shifts_arg =
+  Arg.(value & opt int 0 & info [ "shifts" ] ~doc:"Address shifts of the lock hash.")
+
+let hierarchy_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "hierarchy" ] ~doc:"Hierarchical array size (1 = disabled).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.")
+
+let run_cmd =
+  let run structure stm size updates overwrites threads duration locks_exp
+      shifts hierarchy seed =
+    let spec =
+      W.make ~structure ~initial_size:size ~update_pct:updates
+        ~overwrite_pct:overwrites ~nthreads:threads ~duration ~seed ()
+    in
+    let r =
+      S.run_intset ~stm ~n_locks:(1 lsl locks_exp) ~shifts ~hierarchy spec
+    in
+    Format.printf "%s %s size=%d updates=%.0f%% threads=%d: %a@."
+      (S.stm_label stm)
+      (W.structure_to_string structure)
+      size updates threads W.pp_result r;
+    Format.printf "  stats: %a@." Tstm_tm.Tm_stats.pp r.W.stats
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a single experiment point")
+    Term.(
+      const run $ structure_arg $ stm_arg $ size_arg $ updates_arg
+      $ overwrites_arg $ threads_arg $ duration_arg $ locks_exp_arg
+      $ shifts_arg $ hierarchy_arg $ seed_arg)
+
+let sweep_cmd =
+  let axis_conv =
+    Arg.enum
+      [
+        ("locks-exp", `Locks);
+        ("shifts", `Shifts);
+        ("hierarchy", `Hierarchy);
+        ("threads", `Threads);
+        ("size", `Size);
+        ("updates", `Updates);
+      ]
+  in
+  let axis_arg =
+    Arg.(
+      required
+      & pos 0 (some axis_conv) None
+      & info [] ~docv:"AXIS"
+          ~doc:
+            "Swept parameter: locks-exp, shifts, hierarchy, threads, size or \
+             updates.")
+  in
+  let values_arg =
+    Arg.(
+      required
+      & pos 1 (some (list float)) None
+      & info [] ~docv:"VALUES" ~doc:"Comma-separated axis values.")
+  in
+  let run structure stm size updates threads duration locks_exp shifts
+      hierarchy seed csv axis values =
+    let point v =
+      let i = int_of_float v in
+      let size = if axis = `Size then i else size in
+      let updates = if axis = `Updates then v else updates in
+      let threads = if axis = `Threads then i else threads in
+      let locks_exp = if axis = `Locks then i else locks_exp in
+      let shifts = if axis = `Shifts then i else shifts in
+      let hierarchy = if axis = `Hierarchy then i else hierarchy in
+      let spec =
+        W.make ~structure ~initial_size:size ~update_pct:updates
+          ~nthreads:threads ~duration ~seed ()
+      in
+      S.run_intset ~stm ~n_locks:(1 lsl locks_exp) ~shifts ~hierarchy spec
+    in
+    let results = List.map point values in
+    let axis_label =
+      match axis with
+      | `Locks -> "log2(#locks)"
+      | `Shifts -> "#shifts"
+      | `Hierarchy -> "h"
+      | `Threads -> "threads"
+      | `Size -> "size"
+      | `Updates -> "update%"
+    in
+    let table =
+      {
+        Tstm_util.Series.title =
+          Printf.sprintf "sweep %s: %s %s" axis_label (S.stm_label stm)
+            (W.structure_to_string structure);
+        x_label = axis_label;
+        x = Array.of_list values;
+        columns =
+          [
+            ( "throughput k/s",
+              Array.of_list
+                (List.map (fun r -> r.W.throughput /. 1e3) results) );
+            ( "aborts k/s",
+              Array.of_list
+                (List.map (fun r -> r.W.abort_rate /. 1e3) results) );
+          ];
+      }
+    in
+    Tstm_util.Series.print_table table;
+    match csv with
+    | Some dir ->
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        save_csv dir (F.Table table)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep one tuning/workload axis and tabulate")
+    Term.(
+      const run $ structure_arg $ stm_arg $ size_arg $ updates_arg
+      $ threads_arg $ duration_arg $ locks_exp_arg $ shifts_arg
+      $ hierarchy_arg $ seed_arg $ csv_arg $ axis_arg $ values_arg)
+
+let tune_cmd =
+  let steps_arg =
+    Arg.(value & opt int 15 & info [ "steps" ] ~doc:"Tuning configuration steps.")
+  in
+  let period_arg =
+    Arg.(
+      value & opt float 0.002
+      & info [ "period" ] ~doc:"Measurement period (virtual seconds).")
+  in
+  let run structure size updates threads steps period seed =
+    let spec =
+      W.make ~structure ~initial_size:size ~update_pct:updates
+        ~nthreads:threads ~duration:1.0 ~seed ()
+    in
+    let tr = S.run_intset_autotuned ~period ~n_steps:steps spec in
+    Printf.printf "step  config                         thr(k/s)  move\n";
+    List.iteri
+      (fun i (s : Tstm_tuning.Tuner.step) ->
+        Printf.printf "%4d  %-30s %8.0f  %s\n" (i + 1)
+          (Tinystm.Config.to_string s.Tstm_tuning.Tuner.config)
+          (s.Tstm_tuning.Tuner.throughput /. 1000.0)
+          (Tstm_tuning.Tuner.move_label s.Tstm_tuning.Tuner.move))
+      tr.S.steps
+  in
+  Cmd.v (Cmd.info "tune" ~doc:"Run the dynamic tuner and print its path")
+    Term.(
+      const run $ structure_arg $ size_arg $ updates_arg $ threads_arg
+      $ steps_arg $ period_arg $ seed_arg)
+
+let () =
+  let doc = "TinySTM (PPoPP'08) reproduction: figures and experiments" in
+  let info = Cmd.info "repro" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ fig_cmd; all_cmd; list_cmd; run_cmd; sweep_cmd; tune_cmd ]))

@@ -1,0 +1,1 @@
+examples/autotune_demo.ml: List Printf Tinystm Tstm_harness Tstm_tuning

@@ -1,0 +1,1 @@
+examples/concurrent_set.ml: List Printf Tinystm Tstm_harness Tstm_runtime Tstm_tl2 Tstm_tm Tstm_util Unix

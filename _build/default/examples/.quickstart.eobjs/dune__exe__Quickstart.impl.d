@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Tinystm Tstm_runtime Tstm_tm Tstm_util Unix

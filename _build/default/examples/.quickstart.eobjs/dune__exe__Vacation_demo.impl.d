@@ -1,0 +1,1 @@
+examples/vacation_demo.ml: Printf Tinystm Tstm_runtime Tstm_tm Tstm_util Tstm_vacation Unix

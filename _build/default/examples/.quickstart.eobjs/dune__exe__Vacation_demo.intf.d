@@ -1,0 +1,1 @@
+examples/vacation_demo.mli:

@@ -1,0 +1,38 @@
+(* Dynamic tuning demo (the paper's §4): start an 8-CPU simulated linked-list
+   workload from a deliberately poor configuration (2^8 locks, no shifts,
+   hierarchy off) and watch the hill climber find a better one.
+
+     dune exec examples/autotune_demo.exe
+*)
+
+module S = Tstm_harness.Scenario
+module W = Tstm_harness.Workload
+module Tuner = Tstm_tuning.Tuner
+
+let () =
+  let spec =
+    W.make ~structure:W.List ~initial_size:1024 ~update_pct:20.0 ~nthreads:8
+      ~duration:1.0 ()
+  in
+  Printf.printf
+    "Auto-tuning a linked list (1024 elements, 20%% updates, 8 simulated CPUs)\n";
+  Printf.printf "starting from {locks=2^8; shifts=0; h=1}...\n\n";
+  let tr = S.run_intset_autotuned ~period:0.001 ~n_steps:15 spec in
+  Printf.printf "%4s  %-42s %10s  %s\n" "step" "configuration" "thr (k/s)"
+    "move";
+  let first = ref None and best = ref 0.0 in
+  List.iteri
+    (fun i (s : Tuner.step) ->
+      if !first = None then first := Some s.Tuner.throughput;
+      if s.Tuner.throughput > !best then best := s.Tuner.throughput;
+      Printf.printf "%4d  %-42s %10.1f  %s\n" (i + 1)
+        (Tinystm.Config.to_string s.Tuner.config)
+        (s.Tuner.throughput /. 1e3)
+        (Tuner.move_label s.Tuner.move))
+    tr.S.steps;
+  match !first with
+  | Some f ->
+      Printf.printf
+        "\nbest configuration is %.1fx the starting throughput\n"
+        (!best /. f)
+  | None -> ()

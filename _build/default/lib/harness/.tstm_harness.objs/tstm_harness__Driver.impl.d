@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Tstm_runtime Tstm_structures Tstm_tm Tstm_util Workload

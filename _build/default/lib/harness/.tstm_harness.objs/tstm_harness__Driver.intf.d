@@ -1,0 +1,1 @@
+lib/harness/driver.mli: Tstm_runtime Tstm_tm Workload

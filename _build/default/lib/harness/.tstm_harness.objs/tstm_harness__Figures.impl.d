@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Array Float Hashtbl List Printf Scenario Tinystm Tstm_tuning Tstm_util Workload

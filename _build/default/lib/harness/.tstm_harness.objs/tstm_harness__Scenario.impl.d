@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Driver List Tinystm Tstm_runtime Tstm_tl2 Tstm_tm Tstm_tuning Tstm_util Tstm_vacation Workload

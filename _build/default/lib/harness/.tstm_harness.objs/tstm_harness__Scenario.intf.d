@@ -1,0 +1,1 @@
+lib/harness/scenario.mli: Tinystm Tstm_runtime Tstm_tl2 Tstm_tuning Tstm_vacation Workload

@@ -1,0 +1,1 @@
+lib/harness/workload.mli: Format Tstm_tm

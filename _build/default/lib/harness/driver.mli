@@ -1,0 +1,45 @@
+(** The benchmark thread driver, generic over runtime and STM.
+
+    [run] executes the paper's microbenchmark loop (§3.3) and reports
+    throughput and abort statistics; [run_with_control] additionally gives a
+    controller callback on thread 0 at fixed period boundaries — the hook the
+    dynamic tuner (§4) plugs into. *)
+
+module Make
+    (R : Tstm_runtime.Runtime_intf.S)
+    (T : Tstm_tm.Tm_intf.TM) : sig
+  (** Structure operations bound to one instance (see {!make_structure}). *)
+  type ops = {
+    op_contains : T.tx -> int -> bool;
+    op_add : T.tx -> int -> bool;
+    op_remove : T.tx -> int -> bool;
+    op_overwrite : T.tx -> int -> int;
+    op_size : T.tx -> int;
+  }
+
+  val make_structure : T.t -> Workload.structure -> ops
+  (** Allocate the requested structure in the instance's memory. *)
+
+  val populate : T.t -> ops -> Workload.spec -> unit
+  (** Deterministically fill the structure to [spec.initial_size]. *)
+
+  val run : T.t -> ops -> Workload.spec -> Workload.result
+  (** Reset statistics, run [spec.nthreads] workers for [spec.duration]
+      seconds, and report. *)
+
+  val run_with_control :
+    T.t ->
+    ops ->
+    Workload.spec ->
+    period:float ->
+    n_periods:int ->
+    on_period:(int -> float -> Tstm_tm.Tm_stats.t -> unit) ->
+    unit
+  (** Like {!run}, but thread 0 invokes [on_period idx throughput stats]
+      after each measurement period, where [throughput] is the committed
+      transaction rate over that period (all threads) and [stats] is the
+      *cumulative* aggregate since the run started.  The callback may
+      re-tune the STM (e.g. [Tinystm.set_config]); the next period starts
+      after it returns.  The run ends after [n_periods] callbacks
+      ([spec.duration] is ignored). *)
+end

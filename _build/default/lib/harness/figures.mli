@@ -1,0 +1,48 @@
+(** Regeneration of every figure in the paper's evaluation (Figs. 2-12).
+
+    Each [figN] function runs the corresponding experiment on the simulated
+    8-core runtime and returns printable series; [run_figure] prints them.
+    A {!profile} scales experiment sizes: [quick] for smoke runs, [full]
+    for paper-comparable parameters (several minutes of real time for the
+    linked-list surfaces). *)
+
+type profile = {
+  label : string;
+  dur_tree : float;  (** measurement window for tree/hash workloads (s) *)
+  dur_list : float;  (** measurement window for list workloads (s) *)
+  threads : int list;  (** thread axis of Figs. 2-4 *)
+  fig5_sizes : int list;
+  fig5_updates : float list;
+  surface_size : int;  (** structure size for Figs. 6/8/9 *)
+  surface_lock_exps : int list;
+  surface_shifts : int list;
+  fig7_lock_exps : int list;
+  fig7_shifts : int list;
+  fig7_relations : int;
+  fig8_h : int list;
+  fig9_lock_exps : int list;
+  fig9_h : int list;
+  tune_size : int;
+  tune_period : float;
+  tune_steps : int;
+}
+
+val quick : profile
+val full : profile
+
+type output =
+  | Table of Tstm_util.Series.table
+  | Surface of Tstm_util.Series.surface
+
+val print_output : output -> unit
+
+val fig_numbers : int list
+(** [2; ...; 12]. *)
+
+val run_figure : profile -> int -> output list
+(** Runs the experiment for one paper figure and returns its series (already
+    printed figure-by-figure by the caller via {!print_output}).  Raises
+    [Invalid_argument] for unknown figure numbers. *)
+
+val describe : int -> string
+(** One-line description of what the figure shows. *)

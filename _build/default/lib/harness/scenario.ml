@@ -1,0 +1,112 @@
+module R = Tstm_runtime.Runtime_sim
+module Ts = Tinystm.Make (R)
+module Tl = Tstm_tl2.Tl2.Make (R)
+module Vac = Tstm_vacation.Vacation.Make (Ts)
+module D_ts = Driver.Make (R) (Ts)
+module D_tl = Driver.Make (R) (Tl)
+module Config = Tinystm.Config
+
+type stm_kind = Tinystm_wb | Tinystm_wt | Tl2
+
+let stm_label = function
+  | Tinystm_wb -> "TinySTM-WB"
+  | Tinystm_wt -> "TinySTM-WT"
+  | Tl2 -> "TL2"
+
+let all_stms = [ Tinystm_wb; Tinystm_wt; Tl2 ]
+
+let default_locks = Config.default.Config.n_locks
+
+let run_intset ~stm ?(n_locks = default_locks) ?(shifts = 0) ?(hierarchy = 1)
+    ?(hierarchy2 = 1) (spec : Workload.spec) =
+  let words = Workload.memory_words_for spec in
+  match stm with
+  | Tl2 ->
+      let t = Tl.create ~n_locks ~shifts ~memory_words:words () in
+      let ops = D_tl.make_structure t spec.Workload.structure in
+      D_tl.populate t ops spec;
+      D_tl.run t ops spec
+  | Tinystm_wb | Tinystm_wt ->
+      let strategy =
+        if stm = Tinystm_wb then Config.Write_back else Config.Write_through
+      in
+      let config =
+        Config.make ~n_locks ~shifts ~hierarchy ~hierarchy2 ~strategy ()
+      in
+      let t = Ts.create ~config ~memory_words:words () in
+      let ops = D_ts.make_structure t spec.Workload.structure in
+      D_ts.populate t ops spec;
+      D_ts.run t ops spec
+
+let run_vacation ?(n_locks = default_locks) ?(shifts = 0) ?(hierarchy = 1)
+    ?(spec = Vac.default_spec) ~nthreads ~duration ~seed () =
+  let config = Config.make ~n_locks ~shifts ~hierarchy () in
+  let t =
+    Ts.create ~config ~memory_words:(Vac.memory_words_for spec) ()
+  in
+  let v = Vac.create t in
+  let v = Vac.populate v spec ~seed in
+  Ts.reset_stats t;
+  R.run ~nthreads (fun tid ->
+      let g = Tstm_util.Xrand.create (Tstm_util.Bitops.mix ((seed * 131) + tid)) in
+      let t0 = R.now () in
+      while R.now () -. t0 < duration do
+        Vac.client_step v spec g
+      done);
+  let stats = Ts.stats t in
+  let commits = stats.Tstm_tm.Tm_stats.commits in
+  let aborts = Tstm_tm.Tm_stats.aborts stats in
+  {
+    Workload.commits;
+    aborts;
+    throughput = float_of_int commits /. duration;
+    abort_rate = float_of_int aborts /. duration;
+    stats;
+    elapsed = duration;
+  }
+
+type tune_trace = {
+  steps : Tstm_tuning.Tuner.step list;
+  validation_rates : (float * float) list;
+}
+
+let tuning_start =
+  (* The paper's evaluation starts tuning from 2^8 locks, shift 0 and a
+     disabled hierarchical array (§4.3). *)
+  Config.make ~n_locks:(1 lsl 8) ~shifts:0 ~hierarchy:1 ()
+
+let run_intset_autotuned ?(initial = tuning_start) ?(period = 0.002)
+    ?(n_steps = 20) ?(tuner_seed = 0x51ce) (spec : Workload.spec) =
+  let words = Workload.memory_words_for spec in
+  let t = Ts.create ~config:initial ~memory_words:words () in
+  let ops = D_ts.make_structure t spec.Workload.structure in
+  D_ts.populate t ops spec;
+  let tuner = Tstm_tuning.Tuner.create ~seed:tuner_seed initial in
+  let rates = ref [] in
+  let prev_proc = ref 0 and prev_skip = ref 0 in
+  let step_proc = ref 0 and step_skip = ref 0 and step_periods = ref 0 in
+  let on_period _idx throughput (cum : Tstm_tm.Tm_stats.t) =
+    step_proc :=
+      !step_proc + (cum.Tstm_tm.Tm_stats.val_locks_processed - !prev_proc);
+    step_skip :=
+      !step_skip + (cum.Tstm_tm.Tm_stats.val_locks_skipped - !prev_skip);
+    prev_proc := cum.Tstm_tm.Tm_stats.val_locks_processed;
+    prev_skip := cum.Tstm_tm.Tm_stats.val_locks_skipped;
+    incr step_periods;
+    match Tstm_tuning.Tuner.record tuner throughput with
+    | Tstm_tuning.Tuner.Keep_measuring -> ()
+    | Tstm_tuning.Tuner.Reconfigure cfg ->
+        let span = float_of_int !step_periods *. period in
+        rates :=
+          (float_of_int !step_proc /. span, float_of_int !step_skip /. span)
+          :: !rates;
+        step_proc := 0;
+        step_skip := 0;
+        step_periods := 0;
+        if not (Config.equal cfg (Ts.config t)) then Ts.set_config t cfg
+  in
+  D_ts.run_with_control t ops spec ~period ~n_periods:(3 * n_steps) ~on_period;
+  {
+    steps = Tstm_tuning.Tuner.history tuner;
+    validation_rates = List.rev !rates;
+  }

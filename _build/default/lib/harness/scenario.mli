@@ -1,0 +1,58 @@
+(** Top-level experiment entry points on the simulated runtime: one call per
+    (STM implementation, workload) pair.  All the figure drivers build on
+    these. *)
+
+module R = Tstm_runtime.Runtime_sim
+module Ts : module type of Tinystm.Make (R)
+module Tl : module type of Tstm_tl2.Tl2.Make (R)
+module Vac : module type of Tstm_vacation.Vacation.Make (Ts)
+
+type stm_kind = Tinystm_wb | Tinystm_wt | Tl2
+
+val stm_label : stm_kind -> string
+val all_stms : stm_kind list
+
+val run_intset :
+  stm:stm_kind ->
+  ?n_locks:int ->
+  ?shifts:int ->
+  ?hierarchy:int ->
+  ?hierarchy2:int ->
+  Workload.spec ->
+  Workload.result
+(** Create a fresh instance with the given tuning parameters (TL2 ignores
+    [hierarchy]), build and populate the spec's structure, run the
+    workload. *)
+
+val run_vacation :
+  ?n_locks:int ->
+  ?shifts:int ->
+  ?hierarchy:int ->
+  ?spec:Vac.spec ->
+  nthreads:int ->
+  duration:float ->
+  seed:int ->
+  unit ->
+  Workload.result
+(** The Vacation benchmark on TinySTM write-back (Fig. 7's subject). *)
+
+(** Trace of an auto-tuned run (Figs. 10-12). *)
+type tune_trace = {
+  steps : Tstm_tuning.Tuner.step list;
+      (** one entry per configuration the tuner measured, in order *)
+  validation_rates : (float * float) list;
+      (** per configuration step: (locks processed/s, locks skipped/s)
+          during read-set validation — the data of Fig. 12 *)
+}
+
+val run_intset_autotuned :
+  ?initial:Tinystm.Config.t ->
+  ?period:float ->
+  ?n_steps:int ->
+  ?tuner_seed:int ->
+  Workload.spec ->
+  tune_trace
+(** Run the workload while the hill-climbing tuner re-tunes the instance
+    every [period] seconds (3 measurement periods per configuration step,
+    [n_steps] steps).  [initial] defaults to the paper's evaluation start:
+    2{^8} locks, 0 shifts, hierarchy disabled. *)

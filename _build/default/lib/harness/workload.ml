@@ -1,0 +1,82 @@
+type structure = List | Rbtree | Skiplist | Hashset
+
+let structure_to_string = function
+  | List -> "list"
+  | Rbtree -> "rbtree"
+  | Skiplist -> "skiplist"
+  | Hashset -> "hashset"
+
+let structure_of_string = function
+  | "list" -> Some List
+  | "rbtree" -> Some Rbtree
+  | "skiplist" -> Some Skiplist
+  | "hashset" -> Some Hashset
+  | _ -> None
+
+type spec = {
+  structure : structure;
+  initial_size : int;
+  key_range : int;
+  update_pct : float;
+  overwrite_pct : float;
+  nthreads : int;
+  duration : float;
+  seed : int;
+}
+
+let default =
+  {
+    structure = List;
+    initial_size = 256;
+    key_range = 512;
+    update_pct = 20.0;
+    overwrite_pct = 0.0;
+    nthreads = 4;
+    duration = 0.005;
+    seed = 42;
+  }
+
+let make ?(structure = default.structure) ?(initial_size = default.initial_size)
+    ?key_range ?(update_pct = default.update_pct)
+    ?(overwrite_pct = default.overwrite_pct) ?(nthreads = default.nthreads)
+    ?(duration = default.duration) ?(seed = default.seed) () =
+  let key_range =
+    match key_range with Some r -> r | None -> 2 * initial_size
+  in
+  if initial_size < 1 then invalid_arg "Workload.make: initial_size < 1";
+  if key_range <= initial_size then
+    invalid_arg "Workload.make: key_range must exceed initial_size";
+  if update_pct < 0.0 || overwrite_pct < 0.0
+     || update_pct +. overwrite_pct > 100.0
+  then invalid_arg "Workload.make: bad transaction mix";
+  if nthreads < 1 then invalid_arg "Workload.make: nthreads < 1";
+  if duration <= 0.0 then invalid_arg "Workload.make: duration <= 0";
+  {
+    structure;
+    initial_size;
+    key_range;
+    update_pct;
+    overwrite_pct;
+    nthreads;
+    duration;
+    seed;
+  }
+
+let memory_words_for spec =
+  (* Largest node is a full skip-list tower (19 words); add slack for the
+     transient size overshoot of concurrent updates and for bucket/sentinel
+     headers. *)
+  ((spec.initial_size + (8 * spec.nthreads) + 64) * 24) + 8192
+
+type result = {
+  commits : int;
+  aborts : int;
+  throughput : float;
+  abort_rate : float;
+  stats : Tstm_tm.Tm_stats.t;
+  elapsed : float;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf "%.0f txs/s (%d commits, %d aborts in %.4fs)"
+    r.throughput r.commits r.aborts r.elapsed

@@ -1,0 +1,55 @@
+(** Workload specifications and results for the paper's microbenchmarks.
+
+    A workload runs a fixed thread count against one transactional structure
+    for a fixed (virtual) duration.  Transactions are drawn per the paper's
+    harness (§3.3): read transactions look up a random key; update
+    transactions alternately insert a fresh key and remove the key they last
+    inserted (so every update transaction writes); overwrite transactions
+    (Fig. 4 right) rewrite every entry up to a random key. *)
+
+type structure = List | Rbtree | Skiplist | Hashset
+
+val structure_to_string : structure -> string
+val structure_of_string : string -> structure option
+
+type spec = {
+  structure : structure;
+  initial_size : int;
+  key_range : int;  (** keys are drawn from [1, key_range] *)
+  update_pct : float;
+  overwrite_pct : float;
+  nthreads : int;
+  duration : float;  (** measured seconds (virtual under the simulator) *)
+  seed : int;
+}
+
+val default : spec
+(** List of 256 elements, range 512, 20 % updates, 4 threads, 5 ms. *)
+
+val make :
+  ?structure:structure ->
+  ?initial_size:int ->
+  ?key_range:int ->
+  ?update_pct:float ->
+  ?overwrite_pct:float ->
+  ?nthreads:int ->
+  ?duration:float ->
+  ?seed:int ->
+  unit ->
+  spec
+(** [key_range] defaults to twice [initial_size], as in the paper's
+    size-preserving harness. *)
+
+val memory_words_for : spec -> int
+(** A safe arena size for the spec's structure and churn. *)
+
+type result = {
+  commits : int;
+  aborts : int;
+  throughput : float;  (** committed transactions per second *)
+  abort_rate : float;  (** aborts per second *)
+  stats : Tstm_tm.Tm_stats.t;
+  elapsed : float;
+}
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/runtime/runtime_real.ml: Array Atomic Domain List Unix

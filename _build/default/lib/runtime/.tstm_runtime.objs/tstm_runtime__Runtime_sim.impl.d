@@ -1,0 +1,1 @@
+lib/runtime/runtime_sim.ml: Array Cache_model Sim_sched

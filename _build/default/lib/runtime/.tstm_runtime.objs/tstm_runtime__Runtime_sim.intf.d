@@ -1,0 +1,1 @@
+lib/runtime/runtime_sim.mli: Cache_model Runtime_intf

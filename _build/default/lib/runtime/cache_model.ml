@@ -1,0 +1,182 @@
+type params = {
+  clock_ghz : float;
+  words_per_line : int;
+  read_hit : int;
+  write_hit : int;
+  cas_extra : int;
+  l1_lines : int;
+  l1_miss : int;
+  line_transfer : int;
+  private_cache_lines : int;
+}
+
+let default =
+  {
+    clock_ghz = 2.0;
+    words_per_line = 8;
+    read_hit = 3;
+    write_hit = 3;
+    cas_extra = 20;
+    l1_lines = 512;
+    l1_miss = 11;
+    line_transfer = 100;
+    private_cache_lines = 16384;
+  }
+
+let validate p =
+  if not (Tstm_util.Bitops.is_pow2 p.words_per_line) then
+    invalid_arg "Cache_model: words_per_line must be a power of two";
+  if not (Tstm_util.Bitops.is_pow2 p.private_cache_lines) then
+    invalid_arg "Cache_model: private_cache_lines must be a power of two";
+  if not (Tstm_util.Bitops.is_pow2 p.l1_lines) then
+    invalid_arg "Cache_model: l1_lines must be a power of two";
+  if p.l1_lines > p.private_cache_lines then
+    invalid_arg "Cache_model: l1_lines must not exceed private_cache_lines";
+  if p.l1_miss < 0 then invalid_arg "Cache_model: negative cost";
+  if p.clock_ghz <= 0.0 then invalid_arg "Cache_model: clock_ghz <= 0";
+  if p.read_hit < 0 || p.write_hit < 0 || p.cas_extra < 0 || p.line_transfer < 0
+  then invalid_arg "Cache_model: negative cost"
+
+let max_cpus = 64
+
+type global = {
+  params : params;
+  tags : int array array;  (* per CPU: direct-mapped L2 tags *)
+  l1_tags : int array array;  (* per CPU: direct-mapped L1 tags *)
+  mutable next_base : int;  (* allocator for global line ids *)
+}
+
+let create_global params =
+  validate params;
+  {
+    params;
+    tags = Array.make max_cpus [||];
+    l1_tags = Array.make max_cpus [||];
+    next_base = 1;
+  }
+
+let reset_tags g =
+  Array.iter (fun t -> Array.fill t 0 (Array.length t) (-1)) g.tags;
+  Array.iter (fun t -> Array.fill t 0 (Array.length t) (-1)) g.l1_tags
+
+type t = {
+  g : global;
+  line_shift : int;
+  base : int;  (* global id of this array's line 0 *)
+  owner : int array;  (* last exclusive writer per line; -1 = none *)
+  sharers : int array;  (* bitmask of CPUs that may hold a copy *)
+}
+
+let create g len =
+  let p = g.params in
+  let lines = (len lsr Tstm_util.Bitops.log2 p.words_per_line) + 1 in
+  let base = g.next_base in
+  g.next_base <- base + lines;
+  {
+    g;
+    line_shift = Tstm_util.Bitops.log2 p.words_per_line;
+    base;
+    owner = Array.make lines (-1);
+    sharers = Array.make lines 0;
+  }
+
+(* Both cache levels are 8-way set-associative with round-robin replacement
+   (a direct-mapped model suffers pathological aliasing whenever an array's
+   size is close to the cache span, which no real set-associative cache
+   does).  Tag layout: [sets * ways] entries plus one replacement cursor per
+   set, flattened per CPU. *)
+let ways = 8
+
+let cpu_tags g cpu =
+  let t = g.tags.(cpu) in
+  if t <> [||] then t
+  else begin
+    (* ways tags + 1 round-robin cursor per set *)
+    let sets = g.params.private_cache_lines / ways in
+    let t = Array.make (sets * (ways + 1)) (-1) in
+    g.tags.(cpu) <- t;
+    t
+  end
+
+let cpu_l1_tags g cpu =
+  let t = g.l1_tags.(cpu) in
+  if t <> [||] then t
+  else begin
+    let sets = g.params.l1_lines / ways in
+    let t = Array.make (sets * (ways + 1)) (-1) in
+    g.l1_tags.(cpu) <- t;
+    t
+  end
+
+let probe tags n_sets gline =
+  let base = (gline land (n_sets - 1)) * (ways + 1) in
+  let rec go i = i < ways && (tags.(base + i) = gline || go (i + 1)) in
+  go 0
+
+let install tags n_sets gline =
+  let base = (gline land (n_sets - 1)) * (ways + 1) in
+  if not (probe tags n_sets gline) then begin
+    let cursor = (tags.(base + ways) + 1) land (ways - 1) in
+    tags.(base + cursor) <- gline;
+    tags.(base + ways) <- cursor
+  end
+
+let resident g cpu gline =
+  probe (cpu_tags g cpu) (g.params.private_cache_lines / ways) gline
+
+let in_l1 g cpu gline =
+  probe (cpu_l1_tags g cpu) (g.params.l1_lines / ways) gline
+
+let touch g cpu gline =
+  install (cpu_tags g cpu) (g.params.private_cache_lines / ways) gline;
+  install (cpu_l1_tags g cpu) (g.params.l1_lines / ways) gline
+
+(* A resident (L2) access costs extra when the line fell out of L1. *)
+let level_cost g cpu gline =
+  if in_l1 g cpu gline then 0
+  else begin
+    install (cpu_l1_tags g cpu) (g.params.l1_lines / ways) gline;
+    g.params.l1_miss
+  end
+
+let read_cost t ~cpu ~index =
+  let p = t.g.params in
+  let line = index lsr t.line_shift in
+  let gline = t.base + line in
+  let bit = 1 lsl cpu in
+  let owner = t.owner.(line) in
+  if owner >= 0 && owner <> cpu then begin
+    (* Dirty in another CPU's cache: transfer and downgrade to shared. *)
+    t.owner.(line) <- -1;
+    t.sharers.(line) <- t.sharers.(line) lor bit lor (1 lsl owner);
+    touch t.g cpu gline;
+    p.read_hit + p.line_transfer
+  end
+  else if t.sharers.(line) land bit <> 0 && resident t.g cpu gline then
+    p.read_hit + level_cost t.g cpu gline
+  else begin
+    (* Cold, invalidated or capacity/conflict-evicted: refill. *)
+    t.sharers.(line) <- t.sharers.(line) lor bit;
+    touch t.g cpu gline;
+    p.read_hit + p.line_transfer
+  end
+
+let write_cost t ~cpu ~index =
+  let p = t.g.params in
+  let line = index lsr t.line_shift in
+  let gline = t.base + line in
+  let bit = 1 lsl cpu in
+  if t.owner.(line) = cpu && resident t.g cpu gline then
+    p.write_hit + level_cost t.g cpu gline
+  else if t.sharers.(line) = bit && resident t.g cpu gline then begin
+    (* Sole resident sharer: silent upgrade to exclusive. *)
+    t.owner.(line) <- cpu;
+    p.write_hit + level_cost t.g cpu gline
+  end
+  else begin
+    (* Fetch exclusive ownership and invalidate every other copy. *)
+    t.owner.(line) <- cpu;
+    t.sharers.(line) <- bit;
+    touch t.g cpu gline;
+    p.write_hit + p.line_transfer
+  end

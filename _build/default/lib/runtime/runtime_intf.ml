@@ -1,0 +1,71 @@
+(** The execution substrate every other library is parameterised over.
+
+    A [RUNTIME] provides (i) shared flat [int] arrays with atomic operations
+    — the only memory the STM metadata and the virtual word memory live in —
+    and (ii) a notion of threads and time.  Two implementations exist:
+
+    - {!Runtime_real}: OCaml 5 domains and [Atomic]; wall-clock time; cycle
+      charges are no-ops.  Use it to run the STM on real hardware.
+    - {!Runtime_sim}: a deterministic virtual-time multicore simulator (one
+      effect-handler fiber per simulated CPU, min-virtual-time scheduling and
+      a cache-line contention cost model).  Use it to reproduce the paper's
+      thread-scaling figures on a single-core machine.
+
+    The STM algorithms are written once against this signature, so the code
+    that produces the figures is the same code that runs on real domains. *)
+
+module type S = sig
+  val name : string
+  (** Human-readable runtime name, e.g. ["sim"] or ["domains"]. *)
+
+  val is_simulated : bool
+
+  (** {1 Shared memory} *)
+
+  type sarray
+  (** A fixed-length array of [int] words shared between threads.  All
+      accesses behave as sequentially consistent atomic operations. *)
+
+  val sarray_make : int -> int -> sarray
+  (** [sarray_make len init]. *)
+
+  val sarray_length : sarray -> int
+
+  val get : sarray -> int -> int
+  val set : sarray -> int -> int -> unit
+
+  val cas : sarray -> int -> int -> int -> bool
+  (** [cas a i expected desired] atomically replaces [a.(i)] when it equals
+      [expected]; returns whether it did. *)
+
+  val fetch_add : sarray -> int -> int -> int
+  (** [fetch_add a i d] atomically adds [d] and returns the previous value. *)
+
+  (** {1 Threads and time} *)
+
+  val run : nthreads:int -> (int -> unit) -> unit
+  (** [run ~nthreads body] executes [body tid] for [tid] in [0..nthreads-1],
+      one thread per (real or simulated) CPU, and returns when all have
+      finished.  Calls must not be nested. *)
+
+  val tid : unit -> int
+  (** Id of the calling thread; [0] outside {!run}. *)
+
+  val now : unit -> float
+  (** Seconds.  In the simulator this is the calling fiber's virtual time and
+      it only advances through {!charge} and shared-memory operations; in the
+      real runtime it is the wall clock. *)
+
+  val charge : int -> unit
+  (** [charge c] accounts [c] cycles of thread-private work.  In the
+      simulator this is also a preemption point; a no-op on real hardware. *)
+
+  val charge_local : int -> unit
+  (** Like {!charge} but never a preemption point — for small bookkeeping
+      costs where a context switch per call would only slow the simulation
+      (interleaving at shared-memory operations is what matters for
+      correctness).  A no-op on real hardware. *)
+
+  val yield : unit -> unit
+  (** Politely give other threads a chance to run (spin-wait back-off). *)
+end

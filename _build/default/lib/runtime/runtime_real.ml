@@ -1,0 +1,31 @@
+let name = "domains"
+let is_simulated = false
+
+type sarray = int Atomic.t array
+
+let sarray_make len init = Array.init len (fun _ -> Atomic.make init)
+let sarray_length = Array.length
+let get a i = Atomic.get a.(i)
+let set a i v = Atomic.set a.(i) v
+let cas a i expected desired = Atomic.compare_and_set a.(i) expected desired
+let fetch_add a i d = Atomic.fetch_and_add a.(i) d
+
+let tid_key = Domain.DLS.new_key (fun () -> 0)
+let tid () = Domain.DLS.get tid_key
+
+let run ~nthreads body =
+  if nthreads < 1 then invalid_arg "Runtime_real.run: nthreads < 1";
+  let worker i () =
+    Domain.DLS.set tid_key i;
+    body i
+  in
+  let domains =
+    List.init (nthreads - 1) (fun i -> Domain.spawn (worker (i + 1)))
+  in
+  worker 0 ();
+  List.iter Domain.join domains
+
+let now () = Unix.gettimeofday ()
+let charge _ = ()
+let charge_local _ = ()
+let yield () = Domain.cpu_relax ()

@@ -1,0 +1,6 @@
+(** The real-hardware implementation of {!Runtime_intf.S}: one OCaml domain
+    per thread, [Atomic] cells for shared words, wall-clock time, and
+    zero-cost [charge].  Functionally interchangeable with {!Runtime_sim};
+    used by the examples and by tests that exercise true parallelism. *)
+
+include Runtime_intf.S

@@ -1,0 +1,80 @@
+let current_params = ref Cache_model.default
+let glob = ref (Cache_model.create_global Cache_model.default)
+
+let configure p =
+  Cache_model.validate p;
+  current_params := p;
+  glob := Cache_model.create_global p
+
+let params () = !current_params
+
+let name = "sim"
+let is_simulated = true
+
+type sarray = { data : int array; cache : Cache_model.t; p : Cache_model.params }
+
+let sarray_make len init =
+  let p = !current_params in
+  { data = Array.make len init; cache = Cache_model.create !glob len; p }
+
+let sarray_length a = Array.length a.data
+
+(* Each access first charges its base cost (a preemption point, so another
+   fiber may interleave here), then executes atomically, adding the
+   cache-contention penalty discovered at execution time. *)
+
+let get a i =
+  if Sim_sched.inside () then begin
+    Sim_sched.charge a.p.Cache_model.read_hit;
+    let cost = Cache_model.read_cost a.cache ~cpu:(Sim_sched.tid ()) ~index:i in
+    Sim_sched.charge_noyield (cost - a.p.Cache_model.read_hit)
+  end;
+  a.data.(i)
+
+let set a i v =
+  if Sim_sched.inside () then begin
+    Sim_sched.charge a.p.Cache_model.write_hit;
+    let cost = Cache_model.write_cost a.cache ~cpu:(Sim_sched.tid ()) ~index:i in
+    Sim_sched.charge_noyield (cost - a.p.Cache_model.write_hit)
+  end;
+  a.data.(i) <- v
+
+let cas a i expected desired =
+  if Sim_sched.inside () then begin
+    Sim_sched.charge (a.p.Cache_model.write_hit + a.p.Cache_model.cas_extra);
+    let cost = Cache_model.write_cost a.cache ~cpu:(Sim_sched.tid ()) ~index:i in
+    Sim_sched.charge_noyield (cost - a.p.Cache_model.write_hit)
+  end;
+  if a.data.(i) = expected then begin
+    a.data.(i) <- desired;
+    true
+  end
+  else false
+
+let fetch_add a i d =
+  if Sim_sched.inside () then begin
+    Sim_sched.charge (a.p.Cache_model.write_hit + a.p.Cache_model.cas_extra);
+    let cost = Cache_model.write_cost a.cache ~cpu:(Sim_sched.tid ()) ~index:i in
+    Sim_sched.charge_noyield (cost - a.p.Cache_model.write_hit)
+  end;
+  let old = a.data.(i) in
+  a.data.(i) <- old + d;
+  old
+
+(* Start every run with cold private caches so a result depends only on the
+   experiment, not on what the process simulated before. *)
+let run ~nthreads body =
+  Cache_model.reset_tags !glob;
+  Sim_sched.run ~nthreads body
+let tid = Sim_sched.tid
+
+let now () =
+  float_of_int (Sim_sched.now_cycles ())
+  /. (!current_params.Cache_model.clock_ghz *. 1e9)
+
+let charge = Sim_sched.charge
+let charge_local = Sim_sched.charge_noyield
+
+(* A blocked spinner must advance virtual time or the min-time scheduler
+   would never run anyone else. *)
+let yield () = Sim_sched.charge 64

@@ -1,0 +1,19 @@
+(** The simulated-multicore implementation of {!Runtime_intf.S}.
+
+    Shared arrays carry a {!Cache_model.t}; every access inside a
+    {!Runtime_intf.S.run} charges its base cycle cost (a preemption point)
+    plus a contention penalty computed from the cache-line state at the
+    instant the access executes.  Accesses outside [run] (e.g. populating a
+    data structure before the timed phase) execute at zero cost.
+
+    The cost parameters are process-global and read when an array is created;
+    call {!configure} before building the experiment state. *)
+
+val configure : Cache_model.params -> unit
+(** Set the cost model for subsequently created arrays.  Raises
+    [Invalid_argument] on bad parameters. *)
+
+val params : unit -> Cache_model.params
+(** Currently configured parameters. *)
+
+include Runtime_intf.S

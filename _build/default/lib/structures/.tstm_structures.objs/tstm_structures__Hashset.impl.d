@@ -1,0 +1,1 @@
+lib/structures/hashset.ml: List Tstm_tm Tstm_util

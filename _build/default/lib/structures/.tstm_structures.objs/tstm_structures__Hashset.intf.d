@@ -1,0 +1,1 @@
+lib/structures/hashset.mli: Tstm_tm

@@ -1,0 +1,1 @@
+lib/structures/intset_list.ml: List Set_intf Tstm_tm

@@ -1,0 +1,1 @@
+lib/structures/rbtree.ml: Tstm_tm

@@ -1,0 +1,1 @@
+lib/structures/skiplist.ml: Array List Tstm_tm Tstm_util

@@ -1,0 +1,29 @@
+(** Transactional hash set: a fixed power-of-two bucket array of sorted
+    linked lists in word memory.  Short transactions with high
+    disjoint-access parallelism — the favourable contrast to
+    {!Intset_list}. *)
+
+module Make (T : Tstm_tm.Tm_intf.TM) : sig
+  type t
+
+  val create : ?n_buckets:int -> T.t -> t
+  (** [n_buckets] defaults to 64; must be a power of two. *)
+
+  val contains : t -> T.tx -> int -> bool
+  val add : t -> T.tx -> int -> bool
+  val remove : t -> T.tx -> int -> bool
+
+  val overwrite_upto : t -> T.tx -> int -> int
+  (** Rewrite every element with key < bound (bucket order); returns the
+      count. *)
+
+  val size : t -> T.tx -> int
+  val to_list : t -> T.tx -> int list
+  (** Sorted ascending. *)
+
+  exception Broken of string
+
+  val check_invariants : t -> T.tx -> int
+  (** Buckets sorted, every element in its home bucket; returns the element
+      count. *)
+end

@@ -1,0 +1,91 @@
+(** Sorted singly-linked integer list (the paper's linked-list benchmark,
+    §3.3): every operation traverses from the head, so read sets grow
+    linearly with the structure size and all transactions touch the same
+    prefix of nodes — the adversarial case for STM scalability.
+
+    Node layout in word memory: [value; next].  Head and tail sentinels hold
+    [min_int] and [max_int]. *)
+
+module Make (T : Tstm_tm.Tm_intf.TM) :
+  Set_intf.SET with type stm := T.t and type tx := T.tx = struct
+  type t = { head : int }
+
+  let value tx a = T.read tx a
+  let next tx a = T.read tx (a + 1)
+  let set_value tx a v = T.write tx a v
+  let set_next tx a n = T.write tx (a + 1) n
+
+  let create stm =
+    T.atomically stm (fun tx ->
+        let tail = T.alloc tx 2 in
+        set_value tx tail max_int;
+        set_next tx tail 0;
+        let head = T.alloc tx 2 in
+        set_value tx head min_int;
+        set_next tx head tail;
+        { head })
+
+  (* First node with value >= v, together with its predecessor. *)
+  let locate t tx v =
+    let rec go prev curr =
+      let cv = value tx curr in
+      if cv >= v then (prev, curr, cv) else go curr (next tx curr)
+    in
+    go t.head (next tx t.head)
+
+  let check_key v =
+    if v = min_int || v = max_int then invalid_arg "Intset_list: reserved key"
+
+  let contains t tx v =
+    check_key v;
+    let _, _, cv = locate t tx v in
+    cv = v
+
+  let add t tx v =
+    check_key v;
+    let prev, curr, cv = locate t tx v in
+    if cv = v then false
+    else begin
+      let n = T.alloc tx 2 in
+      set_value tx n v;
+      set_next tx n curr;
+      set_next tx prev n;
+      true
+    end
+
+  let remove t tx v =
+    check_key v;
+    let prev, curr, cv = locate t tx v in
+    if cv <> v then false
+    else begin
+      set_next tx prev (next tx curr);
+      T.free tx curr 2;
+      true
+    end
+
+  let overwrite_upto t tx v =
+    check_key v;
+    let rec go curr count =
+      let cv = value tx curr in
+      if cv >= v then count
+      else begin
+        set_value tx curr cv;
+        go (next tx curr) (count + 1)
+      end
+    in
+    go (next tx t.head) 0
+
+  let size t tx =
+    let rec go curr count =
+      let cv = value tx curr in
+      if cv = max_int then count else go (next tx curr) (count + 1)
+    in
+    go (next tx t.head) 0
+
+  let to_list t tx =
+    let rec go curr acc =
+      let cv = value tx curr in
+      if cv = max_int then List.rev acc else go (next tx curr) (cv :: acc)
+    in
+    go (next tx t.head) []
+end

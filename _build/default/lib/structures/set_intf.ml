@@ -1,0 +1,35 @@
+(** Common signature of the transactional integer-set structures.
+
+    All operations run inside a caller-supplied transaction, so several
+    operations can be composed atomically; the benchmark harness runs one
+    operation per transaction, as the paper's microbenchmarks do.
+
+    Keys must lie strictly between [min_int] and [max_int] (the extremes are
+    reserved for sentinels). *)
+
+module type SET = sig
+  type t
+  type stm
+  type tx
+
+  val create : stm -> t
+  (** Allocates the structure's backbone in the STM's word memory (runs its
+      own transaction). *)
+
+  val contains : t -> tx -> int -> bool
+  val add : t -> tx -> int -> bool
+  (** [true] iff the key was absent and has been inserted. *)
+
+  val remove : t -> tx -> int -> bool
+  (** [true] iff the key was present and has been removed (its node is freed
+      transactionally). *)
+
+  val overwrite_upto : t -> tx -> int -> int
+  (** The paper's large-write-set operation (Fig. 4 right): traverse the
+      structure in key order and rewrite every entry with key < the given
+      bound; returns the number of entries rewritten. *)
+
+  val size : t -> tx -> int
+  val to_list : t -> tx -> int list
+  (** Elements in ascending key order. *)
+end

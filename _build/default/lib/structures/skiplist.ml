@@ -1,0 +1,151 @@
+(** Transactional skip list.  Tower levels are derived deterministically from
+    the key (trailing zeros of a hash), so structure layout — and therefore
+    simulated runs — are reproducible without per-thread RNG state.
+
+    Node layout in word memory: [key; value; level; next_0 .. next_{level-1}]
+    (size [3 + level]).  The head tower carries [min_int] at every level;
+    the null pointer 0 terminates each level. *)
+
+module Make (T : Tstm_tm.Tm_intf.TM) = struct
+  let max_level = 16
+
+  type t = { head : int }
+
+  let get_key tx a = T.read tx a
+  let get_value tx a = T.read tx (a + 1)
+  let get_level tx a = T.read tx (a + 2)
+  let get_next tx a i = T.read tx (a + 3 + i)
+  let set_key tx a v = T.write tx a v
+  let set_value tx a v = T.write tx (a + 1) v
+  let set_level tx a v = T.write tx (a + 2) v
+  let set_next tx a i v = T.write tx (a + 3 + i) v
+
+  (* Geometric level with p = 1/2, deterministic in the key. *)
+  let level_for k =
+    let h = Tstm_util.Bitops.mix k in
+    let rec zeros n i = if i >= max_level - 1 || n land 1 = 1 then i else zeros (n lsr 1) (i + 1) in
+    1 + zeros h 0
+
+  let create stm =
+    T.atomically stm (fun tx ->
+        let head = T.alloc tx (3 + max_level) in
+        set_key tx head min_int;
+        set_value tx head 0;
+        set_level tx head max_level;
+        for i = 0 to max_level - 1 do
+          set_next tx head i 0
+        done;
+        { head })
+
+  (* Fills [preds] with the rightmost node of key < k at each level; returns
+     the level-0 successor (candidate match). *)
+  let find_preds t tx k preds =
+    let rec down lvl node =
+      let rec forward node =
+        let nxt = get_next tx node lvl in
+        if nxt <> 0 && get_key tx nxt < k then forward nxt else node
+      in
+      let node = forward node in
+      preds.(lvl) <- node;
+      if lvl > 0 then down (lvl - 1) node
+      else get_next tx node 0
+    in
+    down (max_level - 1) t.head
+
+  let check_key k =
+    if k = min_int || k = max_int then invalid_arg "Skiplist: reserved key"
+
+  let contains t tx k =
+    check_key k;
+    let preds = Array.make max_level 0 in
+    let c = find_preds t tx k preds in
+    c <> 0 && get_key tx c = k
+
+  let add t tx k =
+    check_key k;
+    let preds = Array.make max_level 0 in
+    let c = find_preds t tx k preds in
+    if c <> 0 && get_key tx c = k then false
+    else begin
+      let lvl = level_for k in
+      let z = T.alloc tx (3 + lvl) in
+      set_key tx z k;
+      set_value tx z 0;
+      set_level tx z lvl;
+      for i = 0 to lvl - 1 do
+        set_next tx z i (get_next tx preds.(i) i);
+        set_next tx preds.(i) i z
+      done;
+      true
+    end
+
+  let remove t tx k =
+    check_key k;
+    let preds = Array.make max_level 0 in
+    let c = find_preds t tx k preds in
+    if c = 0 || get_key tx c <> k then false
+    else begin
+      let lvl = get_level tx c in
+      for i = 0 to lvl - 1 do
+        if get_next tx preds.(i) i = c then
+          set_next tx preds.(i) i (get_next tx c i)
+      done;
+      T.free tx c (3 + lvl);
+      true
+    end
+
+  let overwrite_upto t tx bound =
+    check_key bound;
+    let rec go node count =
+      if node = 0 then count
+      else
+        let k = get_key tx node in
+        if k >= bound then count
+        else begin
+          set_value tx node (get_value tx node);
+          go (get_next tx node 0) (count + 1)
+        end
+    in
+    go (get_next tx t.head 0) 0
+
+  let size t tx =
+    let rec go node count =
+      if node = 0 then count else go (get_next tx node 0) (count + 1)
+    in
+    go (get_next tx t.head 0) 0
+
+  let to_list t tx =
+    let rec go node acc =
+      if node = 0 then List.rev acc
+      else go (get_next tx node 0) (get_key tx node :: acc)
+    in
+    go (get_next tx t.head 0) []
+
+  exception Broken of string
+
+  (* Every level must be a sorted sub-sequence of level 0, and every node's
+     tower must be linked at exactly its [level] levels. *)
+  let check_invariants t tx =
+    let level0 = to_list t tx in
+    let sorted l = List.for_all2 ( < ) (List.filteri (fun i _ -> i < List.length l - 1) l)
+        (List.tl l)
+    in
+    if List.length level0 > 1 && not (sorted level0) then
+      raise (Broken "level 0 not sorted");
+    for lvl = 1 to max_level - 1 do
+      let rec walk node acc =
+        if node = 0 then List.rev acc
+        else begin
+          if get_level tx node <= lvl then raise (Broken "tower too short");
+          walk (get_next tx node lvl) (get_key tx node :: acc)
+        end
+      in
+      let keys = walk (get_next tx t.head lvl) [] in
+      List.iter
+        (fun k -> if not (List.mem k level0) then raise (Broken "orphan key"))
+        keys;
+      if List.length keys > 1 && not (sorted keys) then
+        raise (Broken "upper level not sorted")
+    done;
+    List.length level0
+end

@@ -1,0 +1,1 @@
+lib/tinystm/tinystm.ml: Array Config Hmask Lockenc Tstm_runtime Tstm_tm Tstm_util Tstm_vmm

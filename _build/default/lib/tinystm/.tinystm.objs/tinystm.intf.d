@@ -1,0 +1,1 @@
+lib/tinystm/tinystm.mli: Config Hmask Lockenc Tstm_runtime Tstm_tm Tstm_vmm

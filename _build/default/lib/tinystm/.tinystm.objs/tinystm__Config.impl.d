@@ -1,0 +1,1 @@
+lib/tinystm/config.ml: Format Tstm_util

@@ -1,0 +1,1 @@
+lib/tinystm/config.mli: Format

@@ -1,0 +1,1 @@
+lib/tinystm/hmask.mli:

@@ -1,0 +1,1 @@
+lib/tinystm/lockenc.mli:

@@ -1,0 +1,31 @@
+type t = { bits : Bytes.t; touched : Tstm_util.Growbuf.t }
+
+let create h =
+  if h < 1 then invalid_arg "Hmask.create";
+  { bits = Bytes.make h '\000'; touched = Tstm_util.Growbuf.create 8 }
+
+let size t = Bytes.length t.bits
+let mem t i = Bytes.unsafe_get t.bits i <> '\000'
+
+let add t i =
+  if mem t i then false
+  else begin
+    Bytes.unsafe_set t.bits i '\001';
+    Tstm_util.Growbuf.push t.touched i;
+    true
+  end
+
+let clear t =
+  let n = Tstm_util.Growbuf.length t.touched in
+  for j = 0 to n - 1 do
+    Bytes.unsafe_set t.bits (Tstm_util.Growbuf.get t.touched j) '\000'
+  done;
+  Tstm_util.Growbuf.clear t.touched
+
+let iter t f =
+  let n = Tstm_util.Growbuf.length t.touched in
+  for j = 0 to n - 1 do
+    f (Tstm_util.Growbuf.get t.touched j)
+  done
+
+let cardinal t = Tstm_util.Growbuf.length t.touched

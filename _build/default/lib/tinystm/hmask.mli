@@ -1,0 +1,22 @@
+(** Per-transaction bit masks over the hierarchical array (paper §3.2): the
+    read mask and write mask of [h] bits each.  Adding is idempotent and
+    clearing is O(set bits), which matters because masks are reset on every
+    transaction. *)
+
+type t
+
+val create : int -> t
+(** [create h] for slots [0 .. h-1]. *)
+
+val size : t -> int
+val mem : t -> int -> bool
+
+val add : t -> int -> bool
+(** [add t i] sets bit [i]; returns [true] iff it was previously clear. *)
+
+val clear : t -> unit
+
+val iter : t -> (int -> unit) -> unit
+(** Iterate over set bits in insertion order. *)
+
+val cardinal : t -> int

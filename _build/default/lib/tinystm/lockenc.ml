@@ -1,0 +1,27 @@
+let is_locked w = w land 1 = 1
+
+(* unlocked: version in bits 4.., incarnation in bits 1..3, bit 0 clear *)
+
+let max_incarnation = 7
+let max_version = max_int lsr 4
+
+let unlocked ~version ~incarnation =
+  assert (version >= 0 && version <= max_version);
+  assert (incarnation >= 0 && incarnation <= max_incarnation);
+  (version lsl 4) lor (incarnation lsl 1)
+
+let version w = w lsr 4
+let incarnation w = (w lsr 1) land 7
+
+(* locked: payload in bits 8.., tid in bits 1..7, bit 0 set *)
+
+let max_tid = 127
+let no_payload = (max_int lsr 8) land max_int
+
+let locked ~tid ~payload =
+  assert (tid >= 0 && tid <= max_tid);
+  assert (payload >= 0);
+  (payload lsl 8) lor (tid lsl 1) lor 1
+
+let owner w = (w lsr 1) land max_tid
+let payload w = w lsr 8

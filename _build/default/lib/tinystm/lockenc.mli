@@ -1,0 +1,40 @@
+(** Encoding of TinySTM's versioned-lock words (paper §3.1, Figure 1).
+
+    Each lock is one word.  The least significant bit says whether the lock
+    is owned:
+
+    - unlocked: [ version | incarnation(3 bits) | 0 ] — the version is the
+      commit timestamp of the last writer; the incarnation number is bumped
+      on write-through aborts so that a reader racing with an abort-and-
+      restore cannot miss the intervening write;
+    - locked: [ payload | owner tid (7 bits) | 1 ] — the paper stores a
+      pointer to the owner transaction (write-through) or to a write-set
+      entry (write-back); with integer descriptors we store the owner's
+      thread id and, for write-back, the index of the first write-set entry
+      covering this lock (entries for the same lock are chained). *)
+
+val is_locked : int -> bool
+
+(** {1 Unlocked words} *)
+
+val unlocked : version:int -> incarnation:int -> int
+val version : int -> int
+val incarnation : int -> int
+
+val max_incarnation : int
+(** 7 (three bits, as in the paper). *)
+
+val max_version : int
+(** Largest encodable version. *)
+
+(** {1 Locked words} *)
+
+val locked : tid:int -> payload:int -> int
+val owner : int -> int
+val payload : int -> int
+
+val max_tid : int
+(** 127. *)
+
+val no_payload : int
+(** Payload value meaning "none" (used by write-through locks). *)

@@ -1,0 +1,782 @@
+module Lockenc = Lockenc
+module Config = Config
+module Hmask = Hmask
+
+module Make (R : Tstm_runtime.Runtime_intf.S) = struct
+  module V = Tstm_vmm.Vmm.Make (R)
+  module G = Tstm_util.Growbuf
+  module Stats = Tstm_tm.Tm_stats
+
+  let name = "tinystm"
+
+  exception Abort_exn of Stats.abort_reason
+
+  (* Fixed bookkeeping costs (cycles) charged in the simulated runtime on top
+     of the shared-memory access costs; no-ops on real hardware. *)
+  let c_tx_begin = 20
+  let c_tx_end = 20
+  let c_op = 4
+
+  type desc = {
+    owner : t;
+    tid : int;
+    stats : Stats.t;
+    rng : Tstm_util.Xrand.t;
+    mutable in_tx : bool;
+    mutable read_only : bool;
+    mutable rv : int;  (* upper bound of the snapshot's validity range *)
+    (* Read set, partitioned by hierarchy slot; each buffer stores
+       (lock index, version) pairs flattened. *)
+    mutable r_set : G.t array;
+    mutable hmask_read : Hmask.t;
+    mutable hmask_write : Hmask.t;
+    mutable hsnap : int array;  (* counter value at first touch *)
+    mutable own_inc : int array;  (* own increments since first touch *)
+    (* Second (coarser) hierarchy level, paper §3.2's "multiple levels of
+       nesting": group snapshots, own increments, and the list of
+       read-touched level-1 partitions per group. *)
+    mutable hmask2 : Hmask.t;
+    mutable hsnap2 : int array;
+    mutable own_inc2 : int array;
+    mutable l2_members : G.t array;
+    mutable h2_dim : int;
+    (* Write set (write-back): per-lock chains through [w_next]
+       (index + 1; 0 terminates). *)
+    w_addr : G.t;
+    w_val : G.t;
+    w_next : G.t;
+    (* Undo log (write-through). *)
+    u_addr : G.t;
+    u_val : G.t;
+    (* Acquired locks: lock index and the word it held before acquisition. *)
+    l_idx : G.t;
+    l_old : G.t;
+    (* Transactional memory management logs. *)
+    a_addr : G.t;
+    a_size : G.t;
+    f_addr : G.t;
+    f_size : G.t;
+    mutable h_dim : int;  (* hierarchy size the arrays above match *)
+    mutable last_stamp : int;  (* serialization timestamp of the last commit *)
+  }
+
+  and t = {
+    mem : V.t;
+    mutable cfg : Config.t;
+    mutable locks : R.sarray;
+    mutable hier : R.sarray;
+    mutable hier2 : R.sarray;  (* coarser second counter level; len 1 = off *)
+    ctl : R.sarray;  (* clock / fence mode / roll-over count, padded apart *)
+    flags : R.sarray;  (* per-thread in-transaction flags, padded apart *)
+    descs : desc option array;
+    max_threads : int;
+    max_clock : int;
+    conflict_wait : int;  (* bounded re-check attempts on a foreign lock *)
+  }
+
+  type tx = desc
+
+  (* Control-word slots, spread over distinct cache lines of the simulated
+     runtime (8 words per line by default). *)
+  let clock_slot = 8
+  let mode_slot = 16
+  let rollover_slot = 24
+  let ctl_len = 32
+  let flag_slot tid = (tid + 1) * 8
+
+  let create ?(config = Config.default) ?(max_threads = 64)
+      ?(max_clock = Lockenc.max_version - 64) ?(conflict_wait = 0)
+      ~memory_words () =
+    Config.validate config;
+    if max_threads < 1 || max_threads > Lockenc.max_tid + 1 then
+      invalid_arg "Tinystm.create: max_threads out of range";
+    if max_clock < 16 || max_clock > Lockenc.max_version - 1 then
+      invalid_arg "Tinystm.create: max_clock out of range";
+    if conflict_wait < 0 then
+      invalid_arg "Tinystm.create: conflict_wait < 0";
+    {
+      mem = V.create ~words:memory_words;
+      cfg = config;
+      locks = R.sarray_make config.Config.n_locks 0;
+      hier = R.sarray_make config.Config.hierarchy 0;
+      hier2 = R.sarray_make config.Config.hierarchy2 0;
+      ctl = R.sarray_make ctl_len 0;
+      flags = R.sarray_make (flag_slot max_threads + 8) 0;
+      descs = Array.make max_threads None;
+      max_threads;
+      max_clock;
+      conflict_wait;
+    }
+
+  let memory t = t.mem
+  let config t = t.cfg
+  let clock_value t = R.get t.ctl clock_slot
+  let rollovers t = R.get t.ctl rollover_slot
+
+  (* ------------------------------------------------------------------ *)
+  (* Descriptors                                                         *)
+  (* ------------------------------------------------------------------ *)
+
+  let fresh_hier_state d h h2 =
+    d.r_set <- Array.init h (fun _ -> G.create 32);
+    d.hmask_read <- Hmask.create h;
+    d.hmask_write <- Hmask.create h;
+    d.hsnap <- Array.make h 0;
+    d.own_inc <- Array.make h 0;
+    d.h_dim <- h;
+    d.hmask2 <- Hmask.create h2;
+    d.hsnap2 <- Array.make h2 0;
+    d.own_inc2 <- Array.make h2 0;
+    d.l2_members <- Array.init h2 (fun _ -> G.create 8);
+    d.h2_dim <- h2
+
+  let new_desc t tid =
+    let h = t.cfg.Config.hierarchy and h2 = t.cfg.Config.hierarchy2 in
+    let d =
+      {
+        owner = t;
+        tid;
+        stats = Stats.create ();
+        rng = Tstm_util.Xrand.create (0x7153 + tid);
+        in_tx = false;
+        read_only = false;
+        rv = 0;
+        r_set = [||];
+        hmask_read = Hmask.create 1;
+        hmask_write = Hmask.create 1;
+        hsnap = [||];
+        own_inc = [||];
+        w_addr = G.create 32;
+        w_val = G.create 32;
+        w_next = G.create 32;
+        u_addr = G.create 32;
+        u_val = G.create 32;
+        l_idx = G.create 32;
+        l_old = G.create 32;
+        a_addr = G.create 8;
+        a_size = G.create 8;
+        f_addr = G.create 8;
+        f_size = G.create 8;
+        h_dim = 0;
+        last_stamp = 0;
+        hmask2 = Hmask.create 1;
+        hsnap2 = [||];
+        own_inc2 = [||];
+        l2_members = [||];
+        h2_dim = 0;
+      }
+    in
+    fresh_hier_state d h h2;
+    d
+
+  let desc_for t =
+    let tid = R.tid () in
+    if tid >= t.max_threads then
+      invalid_arg "Tinystm: thread id exceeds max_threads";
+    match t.descs.(tid) with
+    | Some d ->
+        if d.h_dim <> t.cfg.Config.hierarchy
+           || d.h2_dim <> t.cfg.Config.hierarchy2
+        then fresh_hier_state d t.cfg.Config.hierarchy t.cfg.Config.hierarchy2;
+        d
+    | None ->
+        let d = new_desc t tid in
+        t.descs.(tid) <- Some d;
+        d
+
+  let cleanup d =
+    Hmask.iter d.hmask_write (fun i -> d.own_inc.(i) <- 0);
+    Hmask.iter d.hmask_read (fun i -> G.clear d.r_set.(i));
+    Hmask.clear d.hmask_read;
+    Hmask.clear d.hmask_write;
+    Hmask.iter d.hmask2 (fun g ->
+        d.own_inc2.(g) <- 0;
+        G.clear d.l2_members.(g));
+    Hmask.clear d.hmask2;
+    G.clear d.w_addr;
+    G.clear d.w_val;
+    G.clear d.w_next;
+    G.clear d.u_addr;
+    G.clear d.u_val;
+    G.clear d.l_idx;
+    G.clear d.l_old;
+    G.clear d.a_addr;
+    G.clear d.a_size;
+    G.clear d.f_addr;
+    G.clear d.f_size;
+    d.in_tx <- false
+
+  (* ------------------------------------------------------------------ *)
+  (* Quiescence fence (clock roll-over and re-tuning, paper §3.1, §4.2)  *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Threads raise a private padded flag before transacting and re-check the
+     fence mode afterwards (Dekker-style: sequentially consistent atomics on
+     both sides), so an initiator that saw every flag down owns a quiescent
+     instance. *)
+
+  let rec enter_fence t d =
+    if R.get t.ctl mode_slot <> 0 then begin
+      R.yield ();
+      enter_fence t d
+    end
+    else begin
+      R.set t.flags (flag_slot d.tid) 1;
+      if R.get t.ctl mode_slot <> 0 then begin
+        R.set t.flags (flag_slot d.tid) 0;
+        R.yield ();
+        enter_fence t d
+      end
+    end
+
+  let leave_fence t d = R.set t.flags (flag_slot d.tid) 0
+
+  let fence_and t f =
+    let rec acquire () =
+      if not (R.cas t.ctl mode_slot 0 1) then begin
+        R.yield ();
+        acquire ()
+      end
+    in
+    acquire ();
+    for tid = 0 to t.max_threads - 1 do
+      while R.get t.flags (flag_slot tid) <> 0 do
+        R.yield ()
+      done
+    done;
+    f ();
+    R.set t.ctl mode_slot 0
+
+  let do_rollover t =
+    fence_and t (fun () ->
+        (* Another thread may have completed the roll-over while we waited
+           for the fence; re-check before paying for the reset. *)
+        if R.get t.ctl clock_slot >= t.max_clock - 1 then begin
+          R.set t.ctl clock_slot 0;
+          for i = 0 to R.sarray_length t.locks - 1 do
+            R.set t.locks i 0
+          done;
+          for i = 0 to R.sarray_length t.hier - 1 do
+            R.set t.hier i 0
+          done;
+          for i = 0 to R.sarray_length t.hier2 - 1 do
+            R.set t.hier2 i 0
+          done;
+          ignore (R.fetch_add t.ctl rollover_slot 1)
+        end)
+
+  let set_config t cfg =
+    Config.validate cfg;
+    let d = desc_for t in
+    if d.in_tx then invalid_arg "Tinystm.set_config: inside a transaction";
+    fence_and t (fun () ->
+        t.cfg <- cfg;
+        t.locks <- R.sarray_make cfg.Config.n_locks 0;
+        t.hier <- R.sarray_make cfg.Config.hierarchy 0;
+        t.hier2 <- R.sarray_make cfg.Config.hierarchy2 0;
+        R.set t.ctl clock_slot 0)
+
+  (* ------------------------------------------------------------------ *)
+  (* Hierarchical locking (paper §3.2)                                   *)
+  (* ------------------------------------------------------------------ *)
+
+  let hier_enabled t = t.cfg.Config.hierarchy > 1
+  let hier2_enabled t = t.cfg.Config.hierarchy2 > 1
+
+  (* First touch of a partition (by read or write) snapshots its counter,
+     before any of our own increments. *)
+  (* Only called with hierarchical locking enabled; [addr] is the accessed
+     address, [i] its level-1 partition. *)
+  let hier_touch_read t d addr i =
+    if hier2_enabled t then begin
+      let g = Config.hier2_index t.cfg addr in
+      if Hmask.add d.hmask2 g then d.hsnap2.(g) <- R.get t.hier2 g;
+      if
+        (not (Hmask.mem d.hmask_read i)) && not (Hmask.mem d.hmask_write i)
+      then d.hsnap.(i) <- R.get t.hier i;
+      (* Group membership records the partitions that carry read entries. *)
+      if Hmask.add d.hmask_read i then G.push d.l2_members.(g) i
+    end
+    else if
+      (not (Hmask.mem d.hmask_read i)) && not (Hmask.mem d.hmask_write i)
+    then begin
+      ignore (Hmask.add d.hmask_read i);
+      d.hsnap.(i) <- R.get t.hier i
+    end
+    else ignore (Hmask.add d.hmask_read i)
+
+  (* Increment the partition counter immediately *after* a successful lock
+     CAS (and, crucially, before this transaction can reach its commit and
+     draw a write timestamp).  Soundness of the validation fast path then
+     follows: if a validator sees the counter unchanged since its first
+     touch, any foreign acquisition it could be missing must have CASed
+     after the snapshot with its increment still pending — so that writer's
+     commit version is drawn after the validator's clock read and its
+     write-back serializes strictly later than the validated snapshot.
+     (The other order — increment before CAS — is unsound: a validator can
+     absorb the increment into its snapshot, read the still-unlocked
+     location, and later skip the partition that hides the acquisition.) *)
+  let hier_note_acquired t d addr =
+    if hier_enabled t then begin
+      let i = Config.hier_index t.cfg addr in
+      if (not (Hmask.mem d.hmask_write i)) && not (Hmask.mem d.hmask_read i)
+      then d.hsnap.(i) <- R.get t.hier i;
+      ignore (Hmask.add d.hmask_write i);
+      d.own_inc.(i) <- d.own_inc.(i) + 1;
+      ignore (R.fetch_add t.hier i 1);
+      if hier2_enabled t then begin
+        let g = Config.hier2_index t.cfg addr in
+        if Hmask.add d.hmask2 g then d.hsnap2.(g) <- R.get t.hier2 g;
+        d.own_inc2.(g) <- d.own_inc2.(g) + 1;
+        ignore (R.fetch_add t.hier2 g 1)
+      end
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Validation and snapshot extension                                   *)
+  (* ------------------------------------------------------------------ *)
+
+  let validate_partition t d i =
+    let buf = d.r_set.(i) in
+    let n = G.length buf in
+    let ok = ref true in
+    let k = ref 0 in
+    while !ok && !k < n do
+      let li = G.get buf !k in
+      let ver = G.get buf (!k + 1) in
+      let l = R.get t.locks li in
+      d.stats.Stats.val_locks_processed <-
+        d.stats.Stats.val_locks_processed + 1;
+      (if Lockenc.is_locked l then begin
+         if Lockenc.owner l <> d.tid then ok := false
+       end
+       else if Lockenc.version l <> ver then ok := false);
+      k := !k + 2
+    done;
+    !ok
+
+  (* Level-1 check of one partition: skip via its counter or re-check its
+     read-set entries. *)
+  let validate_level1 t d ok i =
+    if !ok then begin
+      let c = R.get t.hier i in
+      if c = d.hsnap.(i) + d.own_inc.(i) then
+        (* Fast path: no foreign lock acquisition in this partition since we
+           first touched it. *)
+        d.stats.Stats.val_locks_skipped <-
+          d.stats.Stats.val_locks_skipped + (G.length d.r_set.(i) / 2)
+      else if not (validate_partition t d i) then ok := false
+    end
+
+  let validate t d =
+    d.stats.Stats.validations <- d.stats.Stats.validations + 1;
+    let ok = ref true in
+    if hier2_enabled t then
+      (* Two-level fast path: an unchanged group counter clears every
+         partition under it at once. *)
+      Hmask.iter d.hmask2 (fun g ->
+          if !ok then begin
+            let members = d.l2_members.(g) in
+            let c2 = R.get t.hier2 g in
+            if c2 = d.hsnap2.(g) + d.own_inc2.(g) then begin
+              let entries = ref 0 in
+              for k = 0 to G.length members - 1 do
+                entries := !entries + (G.length d.r_set.(G.get members k) / 2)
+              done;
+              d.stats.Stats.val_locks_skipped <-
+                d.stats.Stats.val_locks_skipped + !entries
+            end
+            else
+              for k = 0 to G.length members - 1 do
+                validate_level1 t d ok (G.get members k)
+              done
+          end)
+    else if hier_enabled t then
+      Hmask.iter d.hmask_read (fun i -> validate_level1 t d ok i)
+    else
+      Hmask.iter d.hmask_read (fun i ->
+          if !ok && not (validate_partition t d i) then ok := false);
+    !ok
+
+  let extend t d =
+    let now = R.get t.ctl clock_slot in
+    if validate t d then begin
+      d.rv <- now;
+      d.stats.Stats.extensions <- d.stats.Stats.extensions + 1;
+      true
+    end
+    else false
+
+  let abort reason = raise (Abort_exn reason)
+
+  (* Bounded wait on a foreign lock (paper §3.1: "the transaction can try to
+     wait for some time or abort immediately" — the paper picks immediate
+     abort, our default; [conflict_wait] attempts enable the alternative).
+     The wait must be bounded or two transactions blocked on each other's
+     locks would deadlock.  Returns whether the lock was observed free. *)
+  let wait_for_unlock t li =
+    let rec go attempts =
+      if attempts <= 0 then false
+      else begin
+        R.yield ();
+        if Lockenc.is_locked (R.get t.locks li) then go (attempts - 1)
+        else true
+      end
+    in
+    go t.conflict_wait
+
+  (* Reading a version newer than the snapshot: extend (update transactions
+     with a read set) or abort (read-only transactions cannot revalidate). *)
+  let extend_or_abort t d =
+    if d.read_only then abort Stats.Validation_failed
+    else if not (extend t d) then abort Stats.Validation_failed
+
+  (* ------------------------------------------------------------------ *)
+  (* Read and write barriers (paper §3.1)                                *)
+  (* ------------------------------------------------------------------ *)
+
+  let mem_words t = V.words t.mem
+
+  let rec read_word t d addr =
+    R.charge_local c_op;
+    (* The partition counter must be snapshotted *before* first sampling the
+       lock: writers increment their counter right after a successful CAS,
+       so an increment absorbed into a snapshot taken here means the
+       matching acquisition already happened and our lock check below will
+       see it (locked, or released with a new version).  Snapshotting after
+       the check would let an acquire-and-increment slip in between, and
+       validation would wrongly take the fast path. *)
+    let part =
+      if d.read_only then 0
+      else if hier_enabled t then begin
+        let i = Config.hier_index t.cfg addr in
+        hier_touch_read t d addr i;
+        i
+      end
+      else begin
+        ignore (Hmask.add d.hmask_read 0);
+        0
+      end
+    in
+    let li = Config.lock_index t.cfg addr in
+    let l1 = R.get t.locks li in
+    if Lockenc.is_locked l1 then begin
+      if Lockenc.owner l1 <> d.tid then
+        if wait_for_unlock t li then read_word t d addr
+        else abort Stats.Read_conflict
+      else
+      (* Read-after-write: we own the covering lock. *)
+      match t.cfg.Config.strategy with
+      | Config.Write_through ->
+          (* Memory holds our latest value. *)
+          d.stats.Stats.reads <- d.stats.Stats.reads + 1;
+          R.get (mem_words t) addr
+      | Config.Write_back ->
+          (* Follow the lock's write-set chain; fall back to memory when the
+             lock covers the address but we never wrote it (the committed
+             value cannot change while we hold the lock). *)
+          let rec find e =
+            if e = 0 then R.get (mem_words t) addr
+            else
+              let k = e - 1 in
+              if G.get d.w_addr k = addr then G.get d.w_val k
+              else find (G.get d.w_next k)
+          in
+          d.stats.Stats.reads <- d.stats.Stats.reads + 1;
+          find (Lockenc.payload l1)
+    end
+    else begin
+      let v = R.get (mem_words t) addr in
+      let l2 = R.get t.locks li in
+      if l1 <> l2 then
+        (* The lock changed under us (concurrent acquire/release or a
+           write-through abort bumping the incarnation): retry. *)
+        read_word t d addr
+      else begin
+        let ver = Lockenc.version l1 in
+        if ver > d.rv then begin
+          extend_or_abort t d;
+          (* The snapshot moved forward: re-read so the value is covered. *)
+          read_word t d addr
+        end
+        else begin
+          if not d.read_only then begin
+            let buf = d.r_set.(part) in
+            G.push buf li;
+            G.push buf ver
+          end;
+          d.stats.Stats.reads <- d.stats.Stats.reads + 1;
+          v
+        end
+      end
+    end
+
+  let rec write_word t d addr v =
+    R.charge_local c_op;
+    if d.read_only then
+      invalid_arg "Tinystm.write: transaction is read-only";
+    let li = Config.lock_index t.cfg addr in
+    let l = R.get t.locks li in
+    if Lockenc.is_locked l then begin
+      if Lockenc.owner l <> d.tid then
+        if wait_for_unlock t li then write_word t d addr v
+        else abort Stats.Write_conflict
+      else begin
+      (* Write-after-write under our own lock. *)
+      (match t.cfg.Config.strategy with
+      | Config.Write_through ->
+          G.push d.u_addr addr;
+          G.push d.u_val (R.get (mem_words t) addr);
+          R.set (mem_words t) addr v
+      | Config.Write_back -> (
+          let rec find e =
+            if e = 0 then None
+            else
+              let k = e - 1 in
+              if G.get d.w_addr k = addr then Some k
+              else find (G.get d.w_next k)
+          in
+          match find (Lockenc.payload l) with
+          | Some k -> G.set d.w_val k v
+          | None ->
+              G.push d.w_addr addr;
+              G.push d.w_val v;
+              G.push d.w_next (Lockenc.payload l);
+              R.set t.locks li
+                (Lockenc.locked ~tid:d.tid ~payload:(G.length d.w_addr))));
+      d.stats.Stats.writes <- d.stats.Stats.writes + 1
+      end
+    end
+    else begin
+      let ver = Lockenc.version l in
+      if ver > d.rv then begin
+        extend_or_abort t d;
+        write_word t d addr v
+      end
+      else begin
+        match t.cfg.Config.strategy with
+        | Config.Write_back ->
+            G.push d.w_addr addr;
+            G.push d.w_val v;
+            G.push d.w_next 0;
+            if
+              R.cas t.locks li l
+                (Lockenc.locked ~tid:d.tid ~payload:(G.length d.w_addr))
+            then begin
+              hier_note_acquired t d addr;
+              G.push d.l_idx li;
+              G.push d.l_old l;
+              d.stats.Stats.writes <- d.stats.Stats.writes + 1
+            end
+            else begin
+              (* Lost the acquisition race: retract the entry and retry the
+                 whole procedure (the lock may now be owned or renewed). *)
+              let n = G.length d.w_addr in
+              G.shrink d.w_addr (n - 1);
+              G.shrink d.w_val (n - 1);
+              G.shrink d.w_next (n - 1);
+              write_word t d addr v
+            end
+        | Config.Write_through ->
+            if R.cas t.locks li l (Lockenc.locked ~tid:d.tid ~payload:0) then begin
+              hier_note_acquired t d addr;
+              G.push d.l_idx li;
+              G.push d.l_old l;
+              G.push d.u_addr addr;
+              G.push d.u_val (R.get (mem_words t) addr);
+              R.set (mem_words t) addr v;
+              d.stats.Stats.writes <- d.stats.Stats.writes + 1
+            end
+            else write_word t d addr v
+      end
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Transactional memory management (paper §3.1)                        *)
+  (* ------------------------------------------------------------------ *)
+
+  let alloc_words t d n =
+    let addr = V.alloc t.mem n in
+    G.push d.a_addr addr;
+    G.push d.a_size n;
+    addr
+
+  (* A free is semantically an update: acquire every covering lock (by
+     writing back the current values) so no concurrent reader can observe
+     the block being recycled without a conflict. *)
+  let free_words t d addr n =
+    for w = addr to addr + n - 1 do
+      let v = read_word t d w in
+      write_word t d w v
+    done;
+    G.push d.f_addr addr;
+    G.push d.f_size n
+
+  (* ------------------------------------------------------------------ *)
+  (* Commit and rollback                                                 *)
+  (* ------------------------------------------------------------------ *)
+
+  let release_locks_commit t d wv =
+    let n = G.length d.l_idx in
+    for k = 0 to n - 1 do
+      R.set t.locks (G.get d.l_idx k)
+        (Lockenc.unlocked ~version:wv ~incarnation:0)
+    done
+
+  let release_locks_abort t d =
+    let n = G.length d.l_idx in
+    match t.cfg.Config.strategy with
+    | Config.Write_back ->
+        (* Memory was never touched: restore the previous lock words. *)
+        for k = 0 to n - 1 do
+          R.set t.locks (G.get d.l_idx k) (G.get d.l_old k)
+        done
+    | Config.Write_through ->
+        (* Memory was written and restored: bump the incarnation so a racing
+           reader that sampled the lock before our acquisition cannot pass
+           its lock/re-check (paper §3.1).  On incarnation overflow, take a
+           fresh version from the clock. *)
+        for k = 0 to n - 1 do
+          let old = G.get d.l_old k in
+          let inc = Lockenc.incarnation old + 1 in
+          let word =
+            if inc <= Lockenc.max_incarnation then
+              Lockenc.unlocked ~version:(Lockenc.version old) ~incarnation:inc
+            else
+              Lockenc.unlocked ~version:(R.get t.ctl clock_slot) ~incarnation:0
+          in
+          R.set t.locks (G.get d.l_idx k) word
+        done
+
+  let commit t d =
+    R.charge_local c_tx_end;
+    if G.length d.l_idx = 0 then begin
+      (* No locks acquired: the incremental snapshot is consistent as-is. *)
+      d.last_stamp <- d.rv;
+      d.stats.Stats.commits <- d.stats.Stats.commits + 1;
+      if d.read_only then
+        d.stats.Stats.commits_read_only <- d.stats.Stats.commits_read_only + 1
+    end
+    else begin
+      let wv = R.fetch_add t.ctl clock_slot 1 + 1 in
+      if wv >= t.max_clock then abort Stats.Rollover;
+      (* Validation is unnecessary when no other transaction committed since
+         our snapshot bound (paper §3.2). *)
+      if wv > d.rv + 1 then
+        if not (validate t d) then abort Stats.Validation_failed;
+      (match t.cfg.Config.strategy with
+      | Config.Write_back ->
+          let n = G.length d.w_addr in
+          let words = mem_words t in
+          for k = 0 to n - 1 do
+            R.set words (G.get d.w_addr k) (G.get d.w_val k)
+          done
+      | Config.Write_through -> ());
+      release_locks_commit t d wv;
+      (* Frees take effect only now that the locks carry the new version. *)
+      let nf = G.length d.f_addr in
+      for k = 0 to nf - 1 do
+        V.free t.mem (G.get d.f_addr k) (G.get d.f_size k)
+      done;
+      d.last_stamp <- wv;
+      d.stats.Stats.commits <- d.stats.Stats.commits + 1
+    end;
+    cleanup d
+
+  let rollback ?record t d =
+    (match t.cfg.Config.strategy with
+    | Config.Write_back -> ()
+    | Config.Write_through ->
+        (* Undo in reverse order so earlier values win for rewritten words. *)
+        let words = mem_words t in
+        for k = G.length d.u_addr - 1 downto 0 do
+          R.set words (G.get d.u_addr k) (G.get d.u_val k)
+        done);
+    release_locks_abort t d;
+    (* Allocations made by the aborted transaction are reclaimed; logged
+       frees are dropped. *)
+    let na = G.length d.a_addr in
+    for k = 0 to na - 1 do
+      V.free t.mem (G.get d.a_addr k) (G.get d.a_size k)
+    done;
+    (match record with
+    | Some reason -> Stats.record_abort d.stats reason
+    | None -> ());
+    cleanup d
+
+  (* ------------------------------------------------------------------ *)
+  (* Transaction driver                                                  *)
+  (* ------------------------------------------------------------------ *)
+
+  let backoff d attempts =
+    let limit = 16 lsl min attempts 8 in
+    let n = Tstm_util.Xrand.int d.rng limit in
+    R.charge n;
+    if not R.is_simulated then
+      for _ = 1 to n / 8 do
+        R.yield ()
+      done
+
+  let atomically_stamped ?(read_only = false) t f =
+    let d = desc_for t in
+    if d.in_tx then invalid_arg "Tinystm.atomically: nested transaction";
+    let rec attempt tries =
+      enter_fence t d;
+      if
+        d.h_dim <> t.cfg.Config.hierarchy
+        || d.h2_dim <> t.cfg.Config.hierarchy2
+      then fresh_hier_state d t.cfg.Config.hierarchy t.cfg.Config.hierarchy2;
+      R.charge_local c_tx_begin;
+      d.in_tx <- true;
+      d.read_only <- read_only;
+      d.rv <- R.get t.ctl clock_slot;
+      if d.rv >= t.max_clock - 1 then begin
+        d.in_tx <- false;
+        leave_fence t d;
+        do_rollover t;
+        attempt tries
+      end
+      else
+        match
+          let v = f d in
+          commit t d;
+          v
+        with
+        | v ->
+            leave_fence t d;
+            (v, d.last_stamp)
+        | exception Abort_exn reason ->
+            rollback ~record:reason t d;
+            leave_fence t d;
+            if reason = Stats.Rollover then do_rollover t
+            else backoff d tries;
+            attempt (tries + 1)
+        | exception e ->
+            (* A user exception aborts the transaction and propagates. *)
+            rollback t d;
+            leave_fence t d;
+            raise e
+    in
+    attempt 0
+
+  let atomically ?read_only t f = fst (atomically_stamped ?read_only t f)
+
+  (* ------------------------------------------------------------------ *)
+  (* Public TM operations                                                *)
+  (* ------------------------------------------------------------------ *)
+
+  let read tx addr = read_word tx.owner tx addr
+  let write tx addr v = write_word tx.owner tx addr v
+  let alloc tx n = alloc_words tx.owner tx n
+  let free tx addr n = free_words tx.owner tx addr n
+
+  let stats t =
+    let agg = Stats.create () in
+    Array.iter
+      (function Some d -> Stats.add_into ~dst:agg d.stats | None -> ())
+      t.descs;
+    agg
+
+  let reset_stats t =
+    Array.iter (function Some d -> Stats.reset d.stats | None -> ()) t.descs
+end

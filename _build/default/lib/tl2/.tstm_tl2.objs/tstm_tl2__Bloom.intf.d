@@ -1,0 +1,1 @@
+lib/tl2/bloom.mli:

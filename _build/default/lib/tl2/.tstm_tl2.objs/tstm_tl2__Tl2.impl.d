@@ -1,0 +1,1 @@
+lib/tl2/tl2.ml: Array Bloom Tstm_runtime Tstm_tm Tstm_util Tstm_vmm

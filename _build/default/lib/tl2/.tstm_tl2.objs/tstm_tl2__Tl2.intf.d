@@ -1,0 +1,1 @@
+lib/tl2/tl2.mli: Tstm_runtime Tstm_tm Tstm_vmm

@@ -1,0 +1,21 @@
+type t = { mutable bits : int }
+
+let word_bits = 62
+
+let create () = { bits = 0 }
+let clear t = t.bits <- 0
+
+let hash1 addr = Tstm_util.Bitops.mix addr mod word_bits
+
+let hash2 addr =
+  Tstm_util.Bitops.mix (addr lxor 0x5bd1e995) mod word_bits
+
+let mask addr = (1 lsl hash1 addr) lor (1 lsl hash2 addr)
+
+let add t addr = t.bits <- t.bits lor mask addr
+
+let may_contain t addr =
+  let m = mask addr in
+  t.bits land m = m
+
+let saturated t = t.bits = (1 lsl word_bits) - 1

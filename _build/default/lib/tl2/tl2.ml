@@ -1,0 +1,383 @@
+module Make (R : Tstm_runtime.Runtime_intf.S) = struct
+  module V = Tstm_vmm.Vmm.Make (R)
+  module G = Tstm_util.Growbuf
+  module Stats = Tstm_tm.Tm_stats
+
+  let name = "tl2"
+
+  exception Abort_exn of Stats.abort_reason
+
+  (* TL2 lock words: unlocked = [version | 0]; locked = [tid | 1].  No
+     incarnation numbers (write-back never dirties memory before commit) and
+     no write-set payload (there is no per-lock chain — that is TinySTM's
+     advantage the paper measures). *)
+  let is_locked w = w land 1 = 1
+  let unlocked ~version = version lsl 1
+  let version w = w lsr 1
+  let locked_by tid = (tid lsl 1) lor 1
+  let owner w = w lsr 1
+
+  let c_tx_begin = 20
+  let c_tx_end = 20
+  let c_op = 4
+
+  type desc = {
+    owner_t : t;
+    tid : int;
+    stats : Stats.t;
+    rng : Tstm_util.Xrand.t;
+    mutable in_tx : bool;
+    mutable read_only : bool;
+    mutable rv : int;
+    (* Read set: (lock index, observed version) pairs, flattened. *)
+    r_set : G.t;
+    (* Write set: parallel address/value arrays plus a Bloom filter for the
+       read-after-write fast reject. *)
+    w_addr : G.t;
+    w_val : G.t;
+    bloom : Bloom.t;
+    (* Locks acquired during commit, with their previous words. *)
+    l_idx : G.t;
+    l_old : G.t;
+    (* Memory-management logs. *)
+    a_addr : G.t;
+    a_size : G.t;
+    f_addr : G.t;
+    f_size : G.t;
+  }
+
+  and t = {
+    mem : V.t;
+    n_locks : int;
+    shifts : int;
+    locks : R.sarray;
+    ctl : R.sarray;
+    descs : desc option array;
+    max_threads : int;
+  }
+
+  type tx = desc
+
+  let clock_slot = 8
+  let ctl_len = 16
+
+  let create ?(n_locks = 1 lsl 16) ?(shifts = 0) ?(max_threads = 64)
+      ~memory_words () =
+    if not (Tstm_util.Bitops.is_pow2 n_locks) then
+      invalid_arg "Tl2.create: n_locks must be a power of two";
+    if shifts < 0 || shifts > 16 then
+      invalid_arg "Tl2.create: shifts out of range";
+    if max_threads < 1 then invalid_arg "Tl2.create: max_threads < 1";
+    {
+      mem = V.create ~words:memory_words;
+      n_locks;
+      shifts;
+      locks = R.sarray_make n_locks 0;
+      ctl = R.sarray_make ctl_len 0;
+      descs = Array.make max_threads None;
+      max_threads;
+    }
+
+  let memory t = t.mem
+  let clock_value t = R.get t.ctl clock_slot
+  let lock_index t addr = (addr lsr t.shifts) land (t.n_locks - 1)
+
+  let new_desc t tid =
+    {
+      owner_t = t;
+      tid;
+      stats = Stats.create ();
+      rng = Tstm_util.Xrand.create (0x2b1 + tid);
+      in_tx = false;
+      read_only = false;
+      rv = 0;
+      r_set = G.create 64;
+      w_addr = G.create 32;
+      w_val = G.create 32;
+      bloom = Bloom.create ();
+      l_idx = G.create 32;
+      l_old = G.create 32;
+      a_addr = G.create 8;
+      a_size = G.create 8;
+      f_addr = G.create 8;
+      f_size = G.create 8;
+    }
+
+  let desc_for t =
+    let tid = R.tid () in
+    if tid >= t.max_threads then invalid_arg "Tl2: thread id exceeds max_threads";
+    match t.descs.(tid) with
+    | Some d -> d
+    | None ->
+        let d = new_desc t tid in
+        t.descs.(tid) <- Some d;
+        d
+
+  let cleanup d =
+    G.clear d.r_set;
+    G.clear d.w_addr;
+    G.clear d.w_val;
+    Bloom.clear d.bloom;
+    G.clear d.l_idx;
+    G.clear d.l_old;
+    G.clear d.a_addr;
+    G.clear d.a_size;
+    G.clear d.f_addr;
+    G.clear d.f_size;
+    d.in_tx <- false
+
+  let abort reason = raise (Abort_exn reason)
+
+  (* ------------------------------------------------------------------ *)
+  (* Read and write barriers                                             *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Cycle costs of TL2's bookkeeping that TinySTM does not pay: the Bloom
+     filter consulted on every access of an update transaction, and linear
+     write-set / acquired-lock scans (TinySTM's locks point straight into the
+     owner's write log, paper §3.1). *)
+  let c_bloom = 3
+  let c_scan = 1
+
+  (* Search the write set backwards so the most recent write wins. *)
+  let write_set_find d addr =
+    R.charge_local c_bloom;
+    if Bloom.may_contain d.bloom addr then begin
+      let rec go k =
+        if k < 0 then None
+        else begin
+          R.charge_local c_scan;
+          if G.get d.w_addr k = addr then Some k else go (k - 1)
+        end
+      in
+      go (G.length d.w_addr - 1)
+    end
+    else None
+
+  let rec read_word t d addr =
+    R.charge_local c_op;
+    match if d.read_only then None else write_set_find d addr with
+    | Some k ->
+        d.stats.Stats.reads <- d.stats.Stats.reads + 1;
+        G.get d.w_val k
+    | None ->
+        let li = lock_index t addr in
+        let l1 = R.get t.locks li in
+        if is_locked l1 then
+          (* TL2 has no encounter-time ownership: a locked orec always
+             belongs to a committing transaction. *)
+          abort Stats.Read_conflict
+        else begin
+          let v = R.get (V.words t.mem) addr in
+          let l2 = R.get t.locks li in
+          if l1 <> l2 then read_word t d addr
+          else if version l1 > d.rv then
+            (* No snapshot extension in TL2: newer data forces an abort. *)
+            abort Stats.Validation_failed
+          else begin
+            if not d.read_only then begin
+              G.push d.r_set li;
+              G.push d.r_set (version l1)
+            end;
+            d.stats.Stats.reads <- d.stats.Stats.reads + 1;
+            v
+          end
+        end
+
+  let write_word _t d addr v =
+    R.charge_local c_op;
+    if d.read_only then invalid_arg "Tl2.write: transaction is read-only";
+    (match write_set_find d addr with
+    | Some k -> G.set d.w_val k v
+    | None ->
+        G.push d.w_addr addr;
+        G.push d.w_val v;
+        Bloom.add d.bloom addr);
+    d.stats.Stats.writes <- d.stats.Stats.writes + 1
+
+  (* ------------------------------------------------------------------ *)
+  (* Memory management                                                   *)
+  (* ------------------------------------------------------------------ *)
+
+  let alloc_words t d n =
+    let addr = V.alloc t.mem n in
+    G.push d.a_addr addr;
+    G.push d.a_size n;
+    addr
+
+  (* A free is an update: rewrite the block so commit acquires its locks. *)
+  let free_words t d addr n =
+    for w = addr to addr + n - 1 do
+      let v = read_word t d w in
+      write_word t d w v
+    done;
+    G.push d.f_addr addr;
+    G.push d.f_size n
+
+  (* ------------------------------------------------------------------ *)
+  (* Commit                                                              *)
+  (* ------------------------------------------------------------------ *)
+
+  let release_acquired t d =
+    for k = 0 to G.length d.l_idx - 1 do
+      R.set t.locks (G.get d.l_idx k) (G.get d.l_old k)
+    done;
+    G.clear d.l_idx;
+    G.clear d.l_old
+
+  let owns_lock d li =
+    let rec go k =
+      k >= 0
+      && begin
+           R.charge_local c_scan;
+           G.get d.l_idx k = li || go (k - 1)
+         end
+    in
+    go (G.length d.l_idx - 1)
+
+  let old_word_of d li =
+    let rec go k =
+      if k < 0 then None
+      else if G.get d.l_idx k = li then Some (G.get d.l_old k)
+      else go (k - 1)
+    in
+    go (G.length d.l_idx - 1)
+
+  let acquire_write_locks t d =
+    let n = G.length d.w_addr in
+    for k = 0 to n - 1 do
+      let li = lock_index t (G.get d.w_addr k) in
+      if not (owns_lock d li) then begin
+        let l = R.get t.locks li in
+        if is_locked l then begin
+          (* Owned by another committing transaction: abort immediately
+             (the reference implementation's default policy). *)
+          release_acquired t d;
+          abort Stats.Write_conflict
+        end
+        else if not (R.cas t.locks li l (locked_by d.tid)) then begin
+          release_acquired t d;
+          abort Stats.Write_conflict
+        end
+        else begin
+          G.push d.l_idx li;
+          G.push d.l_old l
+        end
+      end
+    done
+
+  let validate t d =
+    d.stats.Stats.validations <- d.stats.Stats.validations + 1;
+    let n = G.length d.r_set in
+    let ok = ref true in
+    let k = ref 0 in
+    while !ok && !k < n do
+      let li = G.get d.r_set !k in
+      let l = R.get t.locks li in
+      d.stats.Stats.val_locks_processed <-
+        d.stats.Stats.val_locks_processed + 1;
+      (if is_locked l then
+         if owner l <> d.tid then ok := false
+         else begin
+           (* We hold the lock ourselves: check the pre-acquisition word. *)
+           match old_word_of d li with
+           | Some old -> if version old > d.rv then ok := false
+           | None -> ok := false
+         end
+       else if version l > d.rv then ok := false);
+      k := !k + 2
+    done;
+    !ok
+
+  let commit t d =
+    R.charge_local c_tx_end;
+    if G.length d.w_addr = 0 && G.length d.f_addr = 0 then begin
+      d.stats.Stats.commits <- d.stats.Stats.commits + 1;
+      if d.read_only then
+        d.stats.Stats.commits_read_only <- d.stats.Stats.commits_read_only + 1
+    end
+    else begin
+      acquire_write_locks t d;
+      let wv = R.fetch_add t.ctl clock_slot 1 + 1 in
+      if wv > d.rv + 1 && not (validate t d) then begin
+        release_acquired t d;
+        abort Stats.Validation_failed
+      end;
+      let words = V.words t.mem in
+      for k = 0 to G.length d.w_addr - 1 do
+        R.set words (G.get d.w_addr k) (G.get d.w_val k)
+      done;
+      for k = 0 to G.length d.l_idx - 1 do
+        R.set t.locks (G.get d.l_idx k) (unlocked ~version:wv)
+      done;
+      for k = 0 to G.length d.f_addr - 1 do
+        V.free t.mem (G.get d.f_addr k) (G.get d.f_size k)
+      done;
+      d.stats.Stats.commits <- d.stats.Stats.commits + 1
+    end;
+    cleanup d
+
+  let rollback ?record t d =
+    (* Commit-time locking: nothing was written to memory; just drop logs and
+       reclaim speculative allocations. *)
+    release_acquired t d;
+    for k = 0 to G.length d.a_addr - 1 do
+      V.free t.mem (G.get d.a_addr k) (G.get d.a_size k)
+    done;
+    (match record with
+    | Some reason -> Stats.record_abort d.stats reason
+    | None -> ());
+    cleanup d
+
+  (* ------------------------------------------------------------------ *)
+  (* Transaction driver                                                  *)
+  (* ------------------------------------------------------------------ *)
+
+  let backoff d attempts =
+    let limit = 16 lsl min attempts 8 in
+    let n = Tstm_util.Xrand.int d.rng limit in
+    R.charge n;
+    if not R.is_simulated then
+      for _ = 1 to n / 8 do
+        R.yield ()
+      done
+
+  let atomically ?(read_only = false) t f =
+    let d = desc_for t in
+    if d.in_tx then invalid_arg "Tl2.atomically: nested transaction";
+    let rec attempt tries =
+      R.charge_local c_tx_begin;
+      d.in_tx <- true;
+      d.read_only <- read_only;
+      d.rv <- R.get t.ctl clock_slot;
+      match
+        let v = f d in
+        commit t d;
+        v
+      with
+      | v -> v
+      | exception Abort_exn reason ->
+          rollback ~record:reason t d;
+          backoff d tries;
+          attempt (tries + 1)
+      | exception e ->
+          rollback t d;
+          raise e
+    in
+    attempt 0
+
+  let read tx addr = read_word tx.owner_t tx addr
+  let write tx addr v = write_word tx.owner_t tx addr v
+  let alloc tx n = alloc_words tx.owner_t tx n
+  let free tx addr n = free_words tx.owner_t tx addr n
+
+  let stats t =
+    let agg = Stats.create () in
+    Array.iter
+      (function Some d -> Stats.add_into ~dst:agg d.stats | None -> ())
+      t.descs;
+    agg
+
+  let reset_stats t =
+    Array.iter (function Some d -> Stats.reset d.stats | None -> ()) t.descs
+end

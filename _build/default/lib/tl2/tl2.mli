@@ -1,0 +1,47 @@
+(** TL2 (Dice, Shalev, Shavit; DISC 2006) — the baseline the paper compares
+    TINYSTM against.  From-scratch reimplementation of the algorithm:
+
+    - commit-time locking: writes are buffered in a per-transaction write set
+      (with a Bloom-filter fast reject for read-after-write lookups) and the
+      covering locks are acquired only at commit;
+    - a global version clock sampled at start ([rv]); reads abort when they
+      observe a version newer than [rv] — unlike TinySTM's LSA variant, TL2
+      has no snapshot extension;
+    - commit: acquire write locks, increment the clock to obtain [wv],
+      validate the read set if [wv > rv + 1], write back, release locks
+      stamped with [wv].
+
+    Exposes the same {!Tstm_tm.Tm_intf.TM} operations as TinySTM so the
+    transactional data structures and the benchmark harness run unmodified on
+    either implementation. *)
+
+module Make (R : Tstm_runtime.Runtime_intf.S) : sig
+  module V : module type of Tstm_vmm.Vmm.Make (R)
+
+  type t
+  type tx
+
+  val create :
+    ?n_locks:int ->
+    ?shifts:int ->
+    ?max_threads:int ->
+    memory_words:int ->
+    unit ->
+    t
+  (** [n_locks] must be a power of two (default 2{^16}, matching the TinySTM
+      default for fair comparisons); [shifts] is the address pre-shift of the
+      per-stripe lock mapping (default 0). *)
+
+  val memory : t -> V.t
+  val clock_value : t -> int
+
+  val name : string
+
+  val read : tx -> int -> int
+  val write : tx -> int -> int -> unit
+  val alloc : tx -> int -> int
+  val free : tx -> int -> int -> unit
+  val atomically : ?read_only:bool -> t -> (tx -> 'a) -> 'a
+  val stats : t -> Tstm_tm.Tm_stats.t
+  val reset_stats : t -> unit
+end

@@ -1,0 +1,1 @@
+lib/tm/tm_stats.mli: Format

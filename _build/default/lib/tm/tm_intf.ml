@@ -1,0 +1,48 @@
+(** The word-transaction interface.
+
+    Every STM in this repository (TinySTM write-back, TinySTM write-through,
+    TL2) implements [TM]; every transactional data structure is a functor
+    over it.  Addresses are {!Tstm_vmm.Vmm} word addresses ([int], 0 = null).
+
+    Inside a transaction, user code only ever observes consistent snapshots
+    (the time-base guarantees of LSA/TL2); conflicts surface as an internal
+    abort exception that {!TM.atomically} catches and retries, so user code
+    must let exceptions propagate. *)
+
+module type TM = sig
+  type t
+  (** An STM instance bound to a memory arena. *)
+
+  type tx
+  (** An active transaction (valid only inside the [atomically] callback). *)
+
+  val name : string
+  (** e.g. ["tinystm-wb"], ["tinystm-wt"], ["tl2"]. *)
+
+  val read : tx -> int -> int
+  (** [read tx addr] transactional load. *)
+
+  val write : tx -> int -> int -> unit
+  (** [write tx addr v] transactional store.  Raises [Invalid_argument] when
+      the transaction was started with [~read_only:true]. *)
+
+  val alloc : tx -> int -> int
+  (** [alloc tx n] allocates [n] contiguous words; automatically released if
+      the transaction aborts (paper §3.1, Memory Management). *)
+
+  val free : tx -> int -> int -> unit
+  (** [free tx addr n] frees a block at commit time; a no-op if the
+      transaction aborts.  Acquires the covering locks first (a free is
+      semantically an update). *)
+
+  val atomically : ?read_only:bool -> t -> (tx -> 'a) -> 'a
+  (** Run a transaction, retrying on aborts until it commits.
+      [~read_only:true] enables the read-only fast path: no read set is kept
+      and commit needs no validation (the incremental snapshot is always
+      consistent).  Must not be nested. *)
+
+  val stats : t -> Tm_stats.t
+  (** Aggregated statistics over all threads (call while quiescent). *)
+
+  val reset_stats : t -> unit
+end

@@ -1,0 +1,98 @@
+type abort_reason =
+  | Read_conflict
+  | Write_conflict
+  | Validation_failed
+  | Rollover
+
+let abort_reason_to_string = function
+  | Read_conflict -> "read-conflict"
+  | Write_conflict -> "write-conflict"
+  | Validation_failed -> "validation"
+  | Rollover -> "rollover"
+
+let all_abort_reasons =
+  [ Read_conflict; Write_conflict; Validation_failed; Rollover ]
+
+type t = {
+  mutable commits : int;
+  mutable commits_read_only : int;
+  mutable aborts_read_conflict : int;
+  mutable aborts_write_conflict : int;
+  mutable aborts_validation : int;
+  mutable aborts_rollover : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable extensions : int;
+  mutable validations : int;
+  mutable val_locks_processed : int;
+  mutable val_locks_skipped : int;
+}
+
+let create () =
+  {
+    commits = 0;
+    commits_read_only = 0;
+    aborts_read_conflict = 0;
+    aborts_write_conflict = 0;
+    aborts_validation = 0;
+    aborts_rollover = 0;
+    reads = 0;
+    writes = 0;
+    extensions = 0;
+    validations = 0;
+    val_locks_processed = 0;
+    val_locks_skipped = 0;
+  }
+
+let reset t =
+  t.commits <- 0;
+  t.commits_read_only <- 0;
+  t.aborts_read_conflict <- 0;
+  t.aborts_write_conflict <- 0;
+  t.aborts_validation <- 0;
+  t.aborts_rollover <- 0;
+  t.reads <- 0;
+  t.writes <- 0;
+  t.extensions <- 0;
+  t.validations <- 0;
+  t.val_locks_processed <- 0;
+  t.val_locks_skipped <- 0
+
+let aborts t =
+  t.aborts_read_conflict + t.aborts_write_conflict + t.aborts_validation
+  + t.aborts_rollover
+
+let record_abort t = function
+  | Read_conflict -> t.aborts_read_conflict <- t.aborts_read_conflict + 1
+  | Write_conflict -> t.aborts_write_conflict <- t.aborts_write_conflict + 1
+  | Validation_failed -> t.aborts_validation <- t.aborts_validation + 1
+  | Rollover -> t.aborts_rollover <- t.aborts_rollover + 1
+
+let add_into ~dst t =
+  dst.commits <- dst.commits + t.commits;
+  dst.commits_read_only <- dst.commits_read_only + t.commits_read_only;
+  dst.aborts_read_conflict <- dst.aborts_read_conflict + t.aborts_read_conflict;
+  dst.aborts_write_conflict <-
+    dst.aborts_write_conflict + t.aborts_write_conflict;
+  dst.aborts_validation <- dst.aborts_validation + t.aborts_validation;
+  dst.aborts_rollover <- dst.aborts_rollover + t.aborts_rollover;
+  dst.reads <- dst.reads + t.reads;
+  dst.writes <- dst.writes + t.writes;
+  dst.extensions <- dst.extensions + t.extensions;
+  dst.validations <- dst.validations + t.validations;
+  dst.val_locks_processed <- dst.val_locks_processed + t.val_locks_processed;
+  dst.val_locks_skipped <- dst.val_locks_skipped + t.val_locks_skipped
+
+let copy t =
+  let c = create () in
+  add_into ~dst:c t;
+  c
+
+let pp ppf t =
+  Format.fprintf ppf
+    "commits=%d (ro=%d) aborts=%d [rc=%d wc=%d val=%d roll=%d] reads=%d \
+     writes=%d ext=%d validations=%d val-locks processed=%d skipped=%d"
+    t.commits t.commits_read_only (aborts t) t.aborts_read_conflict
+    t.aborts_write_conflict t.aborts_validation t.aborts_rollover t.reads
+    t.writes t.extensions t.validations t.val_locks_processed
+    t.val_locks_skipped

@@ -1,0 +1,43 @@
+(** Transaction statistics, shared by every STM implementation.
+
+    Counters are kept per thread inside each STM and aggregated on demand;
+    the harness uses them for the abort-rate figures (Fig. 4) and the
+    validation fast-path figure (Fig. 12). *)
+
+type abort_reason =
+  | Read_conflict  (** read found a lock owned by another transaction *)
+  | Write_conflict  (** write found a lock owned by another transaction *)
+  | Validation_failed  (** commit-time (or extension) validation failed *)
+  | Rollover  (** aborted to participate in a clock roll-over fence *)
+
+val abort_reason_to_string : abort_reason -> string
+val all_abort_reasons : abort_reason list
+
+(** One thread's counters.  Mutable, owned by a single thread; aggregate with
+    {!add_into} after the threads have quiesced. *)
+type t = {
+  mutable commits : int;
+  mutable commits_read_only : int;  (** subset of [commits] *)
+  mutable aborts_read_conflict : int;
+  mutable aborts_write_conflict : int;
+  mutable aborts_validation : int;
+  mutable aborts_rollover : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable extensions : int;  (** successful snapshot extensions *)
+  mutable validations : int;  (** full or partial read-set validations *)
+  mutable val_locks_processed : int;  (** read-set locks actually re-checked *)
+  mutable val_locks_skipped : int;  (** locks skipped via the hierarchy fast path *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val aborts : t -> int
+(** Total aborts across all reasons. *)
+
+val record_abort : t -> abort_reason -> unit
+val add_into : dst:t -> t -> unit
+(** Accumulate a thread's counters into an aggregate. *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

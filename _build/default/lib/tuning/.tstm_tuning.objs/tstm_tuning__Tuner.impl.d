@@ -1,0 +1,1 @@
+lib/tuning/tuner.ml: Array Hashtbl List Tinystm Tstm_util

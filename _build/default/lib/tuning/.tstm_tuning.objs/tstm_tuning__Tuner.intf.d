@@ -1,0 +1,1 @@
+lib/tuning/tuner.mli: Tinystm

@@ -1,0 +1,63 @@
+(** The paper's dynamic tuning strategy (§4.2): hill climbing over the
+    (#locks, #shifts, hierarchy size) configuration space, with a memory of
+    measured configurations and forbidden areas.
+
+    The tuner is a pure decision engine: the benchmark driver feeds it one
+    throughput sample per measurement period and applies the configuration it
+    asks for (via [Tinystm.set_config]).  Per the paper: the throughput of a
+    configuration is the maximum of three consecutive period measurements;
+    the eight moves are double/halve #locks, increment/decrement #shifts,
+    double/halve the hierarchical array, a nop, and a reverse to the
+    best-measured configuration.  A move is reversed when throughput drops
+    more than 2 % below the configuration it came from or more than 10 %
+    below the best; a drop of more than 10 % after a shifts/hierarchy move
+    additionally forbids moving beyond the previous value in that
+    direction. *)
+
+type move =
+  | Locks_double
+  | Locks_halve
+  | Shifts_up
+  | Shifts_down
+  | Hier_double
+  | Hier_halve
+  | Nop
+  | Reverse
+
+val move_label : move -> string
+(** The paper's move numbers: "1".."8". *)
+
+type t
+
+val create : ?seed:int -> ?samples_per_config:int -> Tinystm.Config.t -> t
+(** Start tuning from an initial configuration.  [samples_per_config]
+    defaults to 3 (the paper measures each configuration three times and
+    keeps the maximum). *)
+
+val current : t -> Tinystm.Config.t
+
+type decision =
+  | Keep_measuring
+      (** Not enough samples yet for the current configuration. *)
+  | Reconfigure of Tinystm.Config.t
+      (** Install this configuration for the next measurement periods (it
+          may equal the current one when the tuner performs a nop). *)
+
+val record : t -> float -> decision
+(** Feed the throughput measured over one period under the current
+    configuration. *)
+
+type step = {
+  config : Tinystm.Config.t;
+  throughput : float;  (** max of the period samples for this configuration *)
+  move : move;  (** the move that led into this configuration *)
+}
+
+val history : t -> step list
+(** Configuration steps in chronological order (the data of Figs. 10/11). *)
+
+val best : t -> (Tinystm.Config.t * float) option
+(** Best configuration measured so far. *)
+
+val explored : t -> int
+(** Number of distinct configurations measured. *)

@@ -1,0 +1,1 @@
+lib/util/xrand.ml: Int64

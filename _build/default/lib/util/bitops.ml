@@ -1,0 +1,24 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let ceil_pow2 n =
+  assert (n >= 1);
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let log2 n =
+  assert (is_pow2 n);
+  let rec go n i = if n = 1 then i else go (n lsr 1) (i + 1) in
+  go n 0
+
+let mix x =
+  let open Int64 in
+  let z = of_int x in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  (* Keep the result a non-negative OCaml int. *)
+  to_int (shift_right_logical z 2)
+
+let popcount n =
+  let rec go n acc = if n = 0 then acc else go (n land (n - 1)) (acc + 1) in
+  go n 0

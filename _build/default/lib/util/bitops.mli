@@ -1,0 +1,20 @@
+(** Small bit-manipulation and integer-hash helpers shared across the STM
+    metadata code (lock-array indexing, hierarchy masks, power-of-two
+    sizing). *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] is true iff [n] is a positive power of two. *)
+
+val ceil_pow2 : int -> int
+(** Smallest power of two [>= n].  Requires [n >= 1]. *)
+
+val log2 : int -> int
+(** [log2 n] for a positive power of two [n] returns [i] with [n = 2^i]. *)
+
+val mix : int -> int
+(** A strong avalanche mix of an int (Stafford variant 13 truncated to the
+    OCaml word).  Used where a *scrambling* hash is wanted, e.g. to pick
+    random slots in tests. *)
+
+val popcount : int -> int
+(** Number of set bits. *)

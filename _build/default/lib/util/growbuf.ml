@@ -1,0 +1,36 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create capacity =
+  let capacity = max 1 capacity in
+  { data = Array.make capacity 0; len = 0 }
+
+let length t = t.len
+let capacity t = Array.length t.data
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) 0 in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Growbuf.get";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Growbuf.set";
+  t.data.(i) <- x
+
+let clear t = t.len <- 0
+
+let shrink t n =
+  if n < 0 || n > t.len then invalid_arg "Growbuf.shrink";
+  t.len <- n
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.data.(i) :: acc) in
+  go (t.len - 1) []

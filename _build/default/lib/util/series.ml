@@ -1,0 +1,98 @@
+type table = {
+  title : string;
+  x_label : string;
+  x : float array;
+  columns : (string * float array) list;
+}
+
+type surface = {
+  s_title : string;
+  row_label : string;
+  col_label : string;
+  rows : float array;
+  cols : float array;
+  values : float array array;
+}
+
+let pp_float ppf v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Format.fprintf ppf "%.0f" v
+  else Format.fprintf ppf "%.2f" v
+
+let float_to_string v = Format.asprintf "%a" pp_float v
+
+let pp_table ppf t =
+  let headers = t.x_label :: List.map fst t.columns in
+  let row i =
+    float_to_string t.x.(i)
+    :: List.map (fun (_, col) -> float_to_string col.(i)) t.columns
+  in
+  let all_rows = List.init (Array.length t.x) row in
+  let widths =
+    List.mapi
+      (fun j h ->
+        List.fold_left
+          (fun w r -> max w (String.length (List.nth r j)))
+          (String.length h) all_rows)
+      headers
+  in
+  let pad w s = String.make (w - String.length s) ' ' ^ s in
+  Format.fprintf ppf "== %s ==@." t.title;
+  let print_row cells =
+    List.iteri
+      (fun j c ->
+        if j > 0 then Format.fprintf ppf "  ";
+        Format.fprintf ppf "%s" (pad (List.nth widths j) c))
+      cells;
+    Format.fprintf ppf "@."
+  in
+  print_row headers;
+  List.iter print_row all_rows
+
+let pp_surface ppf s =
+  Format.fprintf ppf "== %s ==@." s.s_title;
+  Format.fprintf ppf "%12s \\ %s@." s.row_label s.col_label;
+  Format.fprintf ppf "%12s" "";
+  Array.iter (fun c -> Format.fprintf ppf "  %10s" (float_to_string c)) s.cols;
+  Format.fprintf ppf "@.";
+  Array.iteri
+    (fun i r ->
+      Format.fprintf ppf "%12s" (float_to_string r);
+      Array.iter
+        (fun v -> Format.fprintf ppf "  %10s" (float_to_string v))
+        s.values.(i);
+      Format.fprintf ppf "@.")
+    s.rows
+
+let table_to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (t.x_label);
+  List.iter (fun (name, _) -> Buffer.add_string buf ("," ^ name)) t.columns;
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun i x ->
+      Buffer.add_string buf (float_to_string x);
+      List.iter
+        (fun (_, col) -> Buffer.add_string buf ("," ^ float_to_string col.(i)))
+        t.columns;
+      Buffer.add_char buf '\n')
+    t.x;
+  Buffer.contents buf
+
+let surface_to_csv s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (s.row_label ^ "\\" ^ s.col_label);
+  Array.iter (fun c -> Buffer.add_string buf ("," ^ float_to_string c)) s.cols;
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun i r ->
+      Buffer.add_string buf (float_to_string r);
+      Array.iter
+        (fun v -> Buffer.add_string buf ("," ^ float_to_string v))
+        s.values.(i);
+      Buffer.add_char buf '\n')
+    s.rows;
+  Buffer.contents buf
+
+let print_table t = Format.printf "%a@." pp_table t
+let print_surface s = Format.printf "%a@." pp_surface s

@@ -1,0 +1,33 @@
+(** Benchmark result series and their textual rendering.
+
+    Every paper figure is regenerated as one or more [table]s: a shared x-axis
+    and one column per curve (e.g. thread count vs. throughput for TinySTM-WB,
+    TinySTM-WT, TL2), or a 2-D [surface] (e.g. #locks x #shifts vs.
+    throughput).  Renderers produce aligned human-readable tables and CSV. *)
+
+type table = {
+  title : string;
+  x_label : string;
+  x : float array;
+  columns : (string * float array) list;  (** each array matches [x] *)
+}
+
+type surface = {
+  s_title : string;
+  row_label : string;  (** label of the first axis *)
+  col_label : string;  (** label of the second axis *)
+  rows : float array;  (** first-axis values *)
+  cols : float array;  (** second-axis values *)
+  values : float array array;  (** [values.(i).(j)] at [rows.(i)], [cols.(j)] *)
+}
+
+val pp_table : Format.formatter -> table -> unit
+val pp_surface : Format.formatter -> surface -> unit
+
+val table_to_csv : table -> string
+val surface_to_csv : surface -> string
+
+val print_table : table -> unit
+(** [pp_table] to stdout followed by a blank line. *)
+
+val print_surface : surface -> unit

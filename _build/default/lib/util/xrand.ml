@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+(* SplitMix64 finalizer: xor-shift-multiply mixing of the advanced state. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let seed = next_int64 g in
+  { state = seed }
+
+let int g n =
+  assert (n > 0);
+  (* Take the top bits (best-mixed) and reduce; modulo bias is negligible for
+     the workload sizes used here (n <= 2^24 against a 62-bit range). *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+  r mod n
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let float g =
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 11) in
+  float_of_int r *. (1.0 /. 9007199254740992.0)
+
+let below_percent g p = float g *. 100.0 < p

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every source of randomness in this repository flows through this module so
+    that simulator runs and property tests are bit-reproducible.  The
+    generator is the SplitMix64 mixer of Steele, Lea and Flood; it is fast,
+    has a 64-bit state, and supports cheap splitting which we use to derive
+    independent per-thread streams from a single experiment seed. *)
+
+type t
+(** Mutable generator state. Not thread-safe: use one [t] per thread. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator.  Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of the remainder of [g]'s stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val bool : t -> bool
+(** Uniform boolean. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val below_percent : t -> float -> bool
+(** [below_percent g p] is [true] with probability [p/100].  Used to draw
+    "is this an update transaction?" decisions from an update rate given in
+    percent, as in the paper's workloads. *)

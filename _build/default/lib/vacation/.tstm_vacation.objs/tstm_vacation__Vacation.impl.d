@@ -1,0 +1,1 @@
+lib/vacation/vacation.ml: Array Hashtbl List Option Tstm_structures Tstm_tm Tstm_util

@@ -1,0 +1,1 @@
+lib/vacation/vacation.mli: Tstm_tm Tstm_util

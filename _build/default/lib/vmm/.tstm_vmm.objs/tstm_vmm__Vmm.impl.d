@@ -1,0 +1,1 @@
+lib/vmm/vmm.ml: Printf Tstm_runtime

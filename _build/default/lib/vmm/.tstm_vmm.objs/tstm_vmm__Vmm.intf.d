@@ -1,0 +1,1 @@
+lib/vmm/vmm.mli: Tstm_runtime

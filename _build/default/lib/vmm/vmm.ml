@@ -1,0 +1,100 @@
+module Make (R : Tstm_runtime.Runtime_intf.S) = struct
+  let max_class = 256
+  let null = 0
+
+  (* Control-word layout inside [ctl]:
+     0                      bump pointer (next fresh address)
+     1                      live word counter
+     2                      total-allocated counter
+     3 .. 3+max_class-1     free-list head per size class (0 = empty)
+     3+max_class ..         spin lock per size class                     *)
+  type t = { words : R.sarray; ctl : R.sarray; capacity : int }
+
+  let bump_slot = 0
+  let live_slot = 1
+  let total_slot = 2
+  let head_slot n = 3 + (n - 1)
+  let lock_slot n = 3 + max_class + (n - 1)
+
+  let create ~words:n =
+    if n < 1 then invalid_arg "Vmm.create: words < 1";
+    let t =
+      {
+        words = R.sarray_make (n + 1) 0;
+        (* +1: address 0 is reserved *)
+        ctl = R.sarray_make (3 + (2 * max_class)) 0;
+        capacity = n;
+      }
+    in
+    R.set t.ctl bump_slot 1;
+    t
+
+  let capacity t = t.capacity
+  let words t = t.words
+
+  let check_addr t addr =
+    if addr < 1 || addr > t.capacity then
+      invalid_arg (Printf.sprintf "Vmm: address %d out of bounds" addr)
+
+  let load t addr =
+    check_addr t addr;
+    R.get t.words addr
+
+  let store t addr v =
+    check_addr t addr;
+    R.set t.words addr v
+
+  let lock t n =
+    while not (R.cas t.ctl (lock_slot n) 0 1) do
+      R.yield ()
+    done
+
+  let unlock t n = R.set t.ctl (lock_slot n) 0
+
+  let bump t n =
+    let base = R.fetch_add t.ctl bump_slot n in
+    if base + n - 1 > t.capacity then raise Out_of_memory;
+    base
+
+  let alloc t n =
+    if n < 1 then invalid_arg "Vmm.alloc: size < 1";
+    let base =
+      if n > max_class then bump t n
+      else begin
+        lock t n;
+        let head = R.get t.ctl (head_slot n) in
+        let base =
+          if head = null then begin
+            unlock t n;
+            bump t n
+          end
+          else begin
+            (* Pop: the first word of a free block holds the next pointer. *)
+            R.set t.ctl (head_slot n) (R.get t.words head);
+            unlock t n;
+            head
+          end
+        in
+        base
+      end
+    in
+    ignore (R.fetch_add t.ctl live_slot n);
+    ignore (R.fetch_add t.ctl total_slot n);
+    base
+
+  let free t addr n =
+    if n < 1 then invalid_arg "Vmm.free: size < 1";
+    check_addr t addr;
+    check_addr t (addr + n - 1);
+    ignore (R.fetch_add t.ctl live_slot (-n));
+    if n <= max_class then begin
+      lock t n;
+      R.set t.words addr (R.get t.ctl (head_slot n));
+      R.set t.ctl (head_slot n) addr;
+      unlock t n
+    end
+  (* Blocks larger than max_class are intentionally leaked (bump-only). *)
+
+  let live_words t = R.get t.ctl live_slot
+  let allocated_since_start t = R.get t.ctl total_slot
+end

@@ -1,0 +1,60 @@
+(** Virtual word memory: the address space the STM manages.
+
+    The paper's STM covers raw process memory and hashes *addresses* to a
+    lock array; under a compacting GC there are no stable word addresses, so
+    this module provides the sound equivalent: a flat arena of shared [int]
+    words in which an address is an index.  The two properties TinySTM's
+    tuning parameters rely on are preserved exactly:
+
+    - address arithmetic: the lock hash [(addr lsr shifts) mod locks]
+      operates on the integer address, so the [#shifts] locality parameter
+      behaves as in the paper;
+    - spatial locality: the bump allocator hands out adjacent words for
+      adjacent allocations, so consecutively allocated structure nodes map to
+      nearby lock-array stripes.
+
+    Address 0 is reserved as the null address and never allocated.
+
+    The allocator is thread-safe (per-size-class spin locks over the shared
+    arena) and is deliberately *not* transactional: {!Tm_intf.TM}
+    implementations wrap {!alloc}/{!free} with their own commit/abort logs to
+    give transactional allocation semantics (paper §3.1, Memory
+    Management). *)
+
+module Make (R : Tstm_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create : words:int -> t
+  (** [create ~words] makes an arena with [words] usable words.  Raises
+      [Invalid_argument] if [words < 1]. *)
+
+  val null : int
+  (** The reserved null address (0). *)
+
+  val capacity : t -> int
+
+  val words : t -> R.sarray
+  (** The backing shared array; the STM reads and writes data through it. *)
+
+  val load : t -> int -> int
+  (** Raw (non-transactional) load; bounds-checked. *)
+
+  val store : t -> int -> int -> unit
+  (** Raw (non-transactional) store; bounds-checked. *)
+
+  val alloc : t -> int -> int
+  (** [alloc t n] returns the base address of [n >= 1] fresh contiguous
+      words (contents unspecified).  Raises [Out_of_memory] when the arena is
+      exhausted.  Small blocks ([n <= 256]) are recycled through free lists;
+      larger blocks are bump-allocated and not recycled. *)
+
+  val free : t -> int -> int -> unit
+  (** [free t addr n] returns the block [addr, n] to the allocator.  The
+      caller must pass the same [n] it allocated with. *)
+
+  val live_words : t -> int
+  (** Words currently allocated and not freed (diagnostic). *)
+
+  val allocated_since_start : t -> int
+  (** Total words ever handed out, including recycled ones (diagnostic). *)
+end

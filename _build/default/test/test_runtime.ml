@@ -1,0 +1,400 @@
+(* Tests for the execution substrate: scheduler determinism, virtual-time
+   accounting, cache-model pricing, atomic semantics under both runtimes. *)
+
+open Tstm_runtime
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Sim_sched                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_sched_runs_all () =
+  let seen = Array.make 5 false in
+  Sim_sched.run ~nthreads:5 (fun i -> seen.(i) <- true);
+  Array.iteri (fun i b -> check_bool (Printf.sprintf "fiber %d ran" i) true b) seen
+
+let test_sched_tid () =
+  let tids = ref [] in
+  Sim_sched.run ~nthreads:3 (fun i ->
+      check_int "tid matches" i (Sim_sched.tid ());
+      tids := i :: !tids);
+  check_int "three fibers" 3 (List.length !tids)
+
+let test_sched_vtime_advances () =
+  let final = Array.make 2 0 in
+  Sim_sched.run ~nthreads:2 (fun i ->
+      Sim_sched.charge 100;
+      Sim_sched.charge 50;
+      final.(i) <- Sim_sched.now_cycles ());
+  check_int "fiber 0 time" 150 final.(0);
+  check_int "fiber 1 time" 150 final.(1)
+
+let test_sched_noyield_advances () =
+  let final = ref 0 in
+  Sim_sched.run ~nthreads:1 (fun _ ->
+      Sim_sched.charge_noyield 42;
+      final := Sim_sched.now_cycles ());
+  check_int "noyield counted" 42 !final
+
+let test_sched_interleaves_by_time () =
+  (* Fiber 0 does cheap steps, fiber 1 expensive ones: the trace must be
+     ordered by virtual time. *)
+  let trace = ref [] in
+  Sim_sched.run ~nthreads:2 (fun i ->
+      let cost = if i = 0 then 10 else 25 in
+      for _ = 1 to 4 do
+        Sim_sched.charge cost;
+        trace := (i, Sim_sched.now_cycles ()) :: !trace
+      done);
+  let trace = List.rev !trace in
+  let times = List.map snd trace in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  check_bool "trace ordered by vtime" true (sorted times);
+  (* First event must be fiber 0 at t=10 (cheaper step). *)
+  (match trace with
+  | (0, 10) :: _ -> ()
+  | (i, t) :: _ -> Alcotest.failf "first event was fiber %d at %d" i t
+  | [] -> Alcotest.fail "empty trace")
+
+let test_sched_deterministic () =
+  let run_once () =
+    let trace = ref [] in
+    Sim_sched.run ~nthreads:4 (fun i ->
+        let g = Tstm_util.Xrand.create (1000 + i) in
+        for _ = 1 to 50 do
+          Sim_sched.charge (1 + Tstm_util.Xrand.int g 20);
+          trace := (i, Sim_sched.now_cycles ()) :: !trace
+        done);
+    !trace
+  in
+  check_bool "two identical runs" true (run_once () = run_once ())
+
+let test_sched_outside_defaults () =
+  check_bool "not inside" false (Sim_sched.inside ());
+  check_int "tid 0" 0 (Sim_sched.tid ());
+  check_int "time 0" 0 (Sim_sched.now_cycles ());
+  Sim_sched.charge 10 (* must be a harmless no-op *)
+
+let test_sched_rejects_bad_nthreads () =
+  Alcotest.check_raises "0 threads"
+    (Invalid_argument "Sim_sched.run: nthreads < 1") (fun () ->
+      Sim_sched.run ~nthreads:0 (fun _ -> ()))
+
+let test_sched_many_switches_no_stack_growth () =
+  (* A trampolined scheduler must survive hundreds of thousands of context
+     switches; a recursive one would blow the stack here. *)
+  Sim_sched.run ~nthreads:2 (fun _ ->
+      for _ = 1 to 200_000 do
+        Sim_sched.charge 1
+      done);
+  check_bool "switch count high" true (Sim_sched.switches () > 200_000)
+
+let test_sched_exception_propagates () =
+  (try
+     Sim_sched.run ~nthreads:1 (fun _ -> failwith "boom");
+     Alcotest.fail "expected exception"
+   with Failure m -> Alcotest.(check string) "message" "boom" m);
+  (* Scheduler state must be cleaned up: a fresh run still works. *)
+  let ok = ref false in
+  Sim_sched.run ~nthreads:1 (fun _ -> ok := true);
+  check_bool "recovered" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* Cache_model                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let params = Cache_model.default
+
+let test_cache_first_read_misses () =
+  let c = Cache_model.create (Cache_model.create_global params) 64 in
+  let cost = Cache_model.read_cost c ~cpu:0 ~index:0 in
+  check_int "cold miss" (params.Cache_model.read_hit + params.Cache_model.line_transfer) cost;
+  let cost2 = Cache_model.read_cost c ~cpu:0 ~index:0 in
+  check_int "then hit" params.Cache_model.read_hit cost2
+
+let test_cache_same_line_shares () =
+  let c = Cache_model.create (Cache_model.create_global params) 64 in
+  ignore (Cache_model.read_cost c ~cpu:0 ~index:0);
+  (* Word 1 is on the same line as word 0 (words_per_line >= 2). *)
+  let cost = Cache_model.read_cost c ~cpu:0 ~index:1 in
+  check_int "line already present" params.Cache_model.read_hit cost
+
+let test_cache_write_invalidates_reader () =
+  let c = Cache_model.create (Cache_model.create_global params) 64 in
+  ignore (Cache_model.read_cost c ~cpu:0 ~index:0);
+  ignore (Cache_model.read_cost c ~cpu:1 ~index:0);
+  (* CPU 1 writes: must pay to invalidate CPU 0's copy. *)
+  let wcost = Cache_model.write_cost c ~cpu:1 ~index:0 in
+  check_int "invalidation"
+    (params.Cache_model.write_hit + params.Cache_model.line_transfer)
+    wcost;
+  (* CPU 0's next read pays a transfer (line dirty at CPU 1). *)
+  let rcost = Cache_model.read_cost c ~cpu:0 ~index:0 in
+  check_int "transfer back"
+    (params.Cache_model.read_hit + params.Cache_model.line_transfer)
+    rcost
+
+let test_cache_exclusive_writes_are_cheap () =
+  let c = Cache_model.create (Cache_model.create_global params) 64 in
+  ignore (Cache_model.write_cost c ~cpu:2 ~index:8);
+  let cost = Cache_model.write_cost c ~cpu:2 ~index:8 in
+  check_int "owned write" params.Cache_model.write_hit cost
+
+let test_cache_sole_sharer_upgrade () =
+  let c = Cache_model.create (Cache_model.create_global params) 64 in
+  ignore (Cache_model.read_cost c ~cpu:3 ~index:16);
+  let cost = Cache_model.write_cost c ~cpu:3 ~index:16 in
+  check_int "silent upgrade" params.Cache_model.write_hit cost
+
+let test_cache_false_sharing_pingpong () =
+  (* Two CPUs writing *different* words on the same line must ping-pong. *)
+  let c = Cache_model.create (Cache_model.create_global params) 64 in
+  ignore (Cache_model.write_cost c ~cpu:0 ~index:0);
+  let a = Cache_model.write_cost c ~cpu:1 ~index:1 in
+  let b = Cache_model.write_cost c ~cpu:0 ~index:0 in
+  check_int "cpu1 pays" (params.Cache_model.write_hit + params.Cache_model.line_transfer) a;
+  check_int "cpu0 pays again" (params.Cache_model.write_hit + params.Cache_model.line_transfer) b
+
+let test_cache_validate () =
+  Alcotest.check_raises "bad words_per_line"
+    (Invalid_argument "Cache_model: words_per_line must be a power of two")
+    (fun () -> Cache_model.validate { params with Cache_model.words_per_line = 3 })
+
+let test_cache_capacity_conflict_evicts () =
+  (* The private cache is 8-way set-associative: 8 lines mapping to the same
+     set coexist; a 9th evicts the round-robin victim, even though coherence
+     alone would allow a hit. *)
+  let g = Cache_model.create_global params in
+  let wpl = params.Cache_model.words_per_line in
+  let sets = params.Cache_model.private_cache_lines / 8 in
+  let stride = sets * wpl in
+  let c = Cache_model.create g (10 * stride) in
+  for k = 0 to 7 do
+    ignore (Cache_model.read_cost c ~cpu:0 ~index:(k * stride))
+  done;
+  check_int "8 ways coexist" params.Cache_model.read_hit
+    (Cache_model.read_cost c ~cpu:0 ~index:0);
+  (* The 9th same-set line evicts one way; cycling through 9 lines keeps
+     missing somewhere. *)
+  ignore (Cache_model.read_cost c ~cpu:0 ~index:(8 * stride));
+  let misses = ref 0 in
+  for k = 0 to 8 do
+    let cost = Cache_model.read_cost c ~cpu:0 ~index:(k * stride) in
+    if cost > params.Cache_model.read_hit + params.Cache_model.l1_miss then
+      incr misses
+  done;
+  check_bool "conflict misses occur" true (!misses > 0);
+  (* A line in a different set is untouched by all this. *)
+  ignore (Cache_model.read_cost c ~cpu:0 ~index:wpl);
+  check_int "independent set hits" params.Cache_model.read_hit
+    (Cache_model.read_cost c ~cpu:0 ~index:wpl)
+
+let test_cache_reset_tags_cools () =
+  let g = Cache_model.create_global params in
+  let c = Cache_model.create g 64 in
+  ignore (Cache_model.read_cost c ~cpu:0 ~index:0);
+  check_int "warm hit" params.Cache_model.read_hit
+    (Cache_model.read_cost c ~cpu:0 ~index:0);
+  Cache_model.reset_tags g;
+  check_int "cold again after reset"
+    (params.Cache_model.read_hit + params.Cache_model.line_transfer)
+    (Cache_model.read_cost c ~cpu:0 ~index:0)
+
+let test_cache_per_cpu_private () =
+  (* CPU 1's evictions must not disturb CPU 0's cache. *)
+  let g = Cache_model.create_global params in
+  let stride = params.Cache_model.private_cache_lines * params.Cache_model.words_per_line in
+  let c = Cache_model.create g (2 * stride) in
+  ignore (Cache_model.read_cost c ~cpu:0 ~index:0);
+  ignore (Cache_model.read_cost c ~cpu:1 ~index:0);
+  ignore (Cache_model.read_cost c ~cpu:1 ~index:stride);
+  check_int "cpu0 unaffected" params.Cache_model.read_hit
+    (Cache_model.read_cost c ~cpu:0 ~index:0)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime implementations (shared semantics)                         *)
+(* ------------------------------------------------------------------ *)
+
+module Semantics (R : Runtime_intf.S) = struct
+  let test_array_basic () =
+    let a = R.sarray_make 10 7 in
+    check_int "length" 10 (R.sarray_length a);
+    for i = 0 to 9 do
+      check_int "init" 7 (R.get a i)
+    done;
+    R.set a 3 42;
+    check_int "set/get" 42 (R.get a 3);
+    check_int "others untouched" 7 (R.get a 2)
+
+  let test_cas () =
+    let a = R.sarray_make 1 5 in
+    check_bool "cas succeeds" true (R.cas a 0 5 6);
+    check_int "updated" 6 (R.get a 0);
+    check_bool "cas fails" false (R.cas a 0 5 7);
+    check_int "unchanged" 6 (R.get a 0)
+
+  let test_fetch_add () =
+    let a = R.sarray_make 1 10 in
+    check_int "returns old" 10 (R.fetch_add a 0 5);
+    check_int "adds" 15 (R.get a 0);
+    check_int "negative delta" 15 (R.fetch_add a 0 (-3));
+    check_int "subtracted" 12 (R.get a 0)
+
+  let test_counter_under_threads () =
+    let a = R.sarray_make 1 0 in
+    let n = 4 and per = 1000 in
+    R.run ~nthreads:n (fun _ ->
+        for _ = 1 to per do
+          ignore (R.fetch_add a 0 1)
+        done);
+    check_int "no lost updates" (n * per) (R.get a 0)
+
+  let test_tids_unique () =
+    let a = R.sarray_make 8 0 in
+    R.run ~nthreads:8 (fun i ->
+        ignore (R.fetch_add a (R.tid ()) 1);
+        check_int "tid = body arg" i (R.tid ()));
+    for i = 0 to 7 do
+      check_int "each tid once" 1 (R.get a i)
+    done
+
+  let test_cas_mutex () =
+    (* A CAS spin lock protecting a non-atomic counter: the total must be
+       exact under every interleaving. *)
+    let lock = R.sarray_make 1 0 in
+    let counter = ref 0 in
+    let n = 4 and per = 500 in
+    R.run ~nthreads:n (fun _ ->
+        for _ = 1 to per do
+          while not (R.cas lock 0 0 1) do
+            R.yield ()
+          done;
+          counter := !counter + 1;
+          R.set lock 0 0
+        done);
+    check_int "mutex protected" (n * per) !counter
+
+  let tests =
+    [
+      Alcotest.test_case "array basics" `Quick test_array_basic;
+      Alcotest.test_case "cas" `Quick test_cas;
+      Alcotest.test_case "fetch_add" `Quick test_fetch_add;
+      Alcotest.test_case "parallel counter" `Quick test_counter_under_threads;
+      Alcotest.test_case "tids" `Quick test_tids_unique;
+      Alcotest.test_case "cas mutex" `Quick test_cas_mutex;
+    ]
+end
+
+module Sim_semantics = Semantics (Runtime_sim)
+module Real_semantics = Semantics (Runtime_real)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime_sim specifics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_now_uses_clock () =
+  Runtime_sim.configure Cache_model.default;
+  let t = ref 0.0 in
+  Runtime_sim.run ~nthreads:1 (fun _ ->
+      Runtime_sim.charge 2_000_000_000;
+      t := Runtime_sim.now ());
+  (* 2e9 cycles at 2 GHz = 1 second. *)
+  Alcotest.(check (float 1e-6)) "1 second" 1.0 !t
+
+let test_sim_zero_cost_outside_run () =
+  let a = Runtime_sim.sarray_make 4 0 in
+  Runtime_sim.set a 0 9;
+  check_int "works outside run" 9 (Runtime_sim.get a 0)
+
+let test_sim_contention_costs_time () =
+  Runtime_sim.configure Cache_model.default;
+  (* Same total op count; contended case has both CPUs hammering one word,
+     uncontended case uses words on distinct lines. The contended run must
+     take strictly more virtual time. *)
+  let elapsed contended =
+    let a = Runtime_sim.sarray_make 64 0 in
+    let finish = Array.make 2 0.0 in
+    Runtime_sim.run ~nthreads:2 (fun i ->
+        let idx = if contended then 0 else i * 32 in
+        for _ = 1 to 200 do
+          Runtime_sim.set a idx 1
+        done;
+        finish.(i) <- Runtime_sim.now ());
+    Float.max finish.(0) finish.(1)
+  in
+  let c = elapsed true and u = elapsed false in
+  check_bool (Printf.sprintf "contended %.3g > uncontended %.3g" c u) true (c > u)
+
+let test_sim_deterministic_parallel_counter () =
+  let trace () =
+    Runtime_sim.configure Cache_model.default;
+    let a = Runtime_sim.sarray_make 1 0 in
+    let log = ref [] in
+    Runtime_sim.run ~nthreads:3 (fun i ->
+        let g = Tstm_util.Xrand.create i in
+        for _ = 1 to 100 do
+          Runtime_sim.charge (Tstm_util.Xrand.int g 10 + 1);
+          log := (i, Runtime_sim.fetch_add a 0 1) :: !log
+        done);
+    !log
+  in
+  check_bool "identical traces" true (trace () = trace ())
+
+let () =
+  Alcotest.run "tstm_runtime"
+    [
+      ( "sim_sched",
+        [
+          Alcotest.test_case "runs all fibers" `Quick test_sched_runs_all;
+          Alcotest.test_case "tid" `Quick test_sched_tid;
+          Alcotest.test_case "vtime" `Quick test_sched_vtime_advances;
+          Alcotest.test_case "noyield" `Quick test_sched_noyield_advances;
+          Alcotest.test_case "interleaves by time" `Quick
+            test_sched_interleaves_by_time;
+          Alcotest.test_case "deterministic" `Quick test_sched_deterministic;
+          Alcotest.test_case "outside defaults" `Quick
+            test_sched_outside_defaults;
+          Alcotest.test_case "bad nthreads" `Quick
+            test_sched_rejects_bad_nthreads;
+          Alcotest.test_case "no stack growth" `Quick
+            test_sched_many_switches_no_stack_growth;
+          Alcotest.test_case "exception propagates" `Quick
+            test_sched_exception_propagates;
+        ] );
+      ( "cache_model",
+        [
+          Alcotest.test_case "cold miss then hit" `Quick
+            test_cache_first_read_misses;
+          Alcotest.test_case "line sharing" `Quick test_cache_same_line_shares;
+          Alcotest.test_case "write invalidates" `Quick
+            test_cache_write_invalidates_reader;
+          Alcotest.test_case "owned writes cheap" `Quick
+            test_cache_exclusive_writes_are_cheap;
+          Alcotest.test_case "upgrade" `Quick test_cache_sole_sharer_upgrade;
+          Alcotest.test_case "false sharing" `Quick
+            test_cache_false_sharing_pingpong;
+          Alcotest.test_case "validate" `Quick test_cache_validate;
+          Alcotest.test_case "capacity conflicts" `Quick
+            test_cache_capacity_conflict_evicts;
+          Alcotest.test_case "reset cools" `Quick test_cache_reset_tags_cools;
+          Alcotest.test_case "per-cpu privacy" `Quick
+            test_cache_per_cpu_private;
+        ] );
+      ("sim semantics", Sim_semantics.tests);
+      ("domains semantics", Real_semantics.tests);
+      ( "runtime_sim",
+        [
+          Alcotest.test_case "virtual clock" `Quick test_sim_now_uses_clock;
+          Alcotest.test_case "zero cost outside run" `Quick
+            test_sim_zero_cost_outside_run;
+          Alcotest.test_case "contention costs time" `Quick
+            test_sim_contention_costs_time;
+          Alcotest.test_case "deterministic parallel" `Quick
+            test_sim_deterministic_parallel_counter;
+        ] );
+    ]

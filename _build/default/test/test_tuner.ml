@@ -1,0 +1,237 @@
+(* Tests for the hill-climbing tuner: decision rules, memory, forbidden
+   areas, convergence on synthetic throughput landscapes. *)
+
+module Tuner = Tstm_tuning.Tuner
+module Config = Tinystm.Config
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let initial = Config.make ~n_locks:(1 lsl 8) ~shifts:0 ~hierarchy:1 ()
+
+(* Drive the tuner against a synthetic throughput function for [steps]
+   configuration steps; returns the tuner. *)
+let drive ?(seed = 1) ?(steps = 40) f =
+  let t = Tuner.create ~seed initial in
+  for _ = 1 to steps * 3 do
+    let thr = f (Tuner.current t) in
+    ignore (Tuner.record t thr)
+  done;
+  t
+
+let test_keep_measuring_until_three () =
+  let t = Tuner.create initial in
+  (match Tuner.record t 100.0 with
+  | Tuner.Keep_measuring -> ()
+  | Tuner.Reconfigure _ -> Alcotest.fail "decided after 1 sample");
+  (match Tuner.record t 100.0 with
+  | Tuner.Keep_measuring -> ()
+  | Tuner.Reconfigure _ -> Alcotest.fail "decided after 2 samples");
+  match Tuner.record t 100.0 with
+  | Tuner.Reconfigure _ -> ()
+  | Tuner.Keep_measuring -> Alcotest.fail "no decision after 3 samples"
+
+let test_uses_max_of_samples () =
+  let t = Tuner.create initial in
+  ignore (Tuner.record t 50.0);
+  ignore (Tuner.record t 150.0);
+  ignore (Tuner.record t 100.0);
+  match Tuner.best t with
+  | Some (_, thr) -> Alcotest.(check (float 1e-9)) "max kept" 150.0 thr
+  | None -> Alcotest.fail "no best recorded"
+
+let test_first_move_explores () =
+  let t = Tuner.create initial in
+  ignore (Tuner.record t 100.0);
+  ignore (Tuner.record t 100.0);
+  (match Tuner.record t 100.0 with
+  | Tuner.Reconfigure c ->
+      check_bool "moved to a different config" false (Config.equal c initial)
+  | Tuner.Keep_measuring -> Alcotest.fail "expected a move");
+  check_int "one config explored" 1 (Tuner.explored t)
+
+let test_reverse_on_big_drop () =
+  let t = Tuner.create initial in
+  (* First config measures 100. *)
+  ignore (Tuner.record t 100.0);
+  ignore (Tuner.record t 100.0);
+  let next =
+    match Tuner.record t 100.0 with
+    | Tuner.Reconfigure c -> c
+    | Tuner.Keep_measuring -> Alcotest.fail "expected move"
+  in
+  check_bool "moved" false (Config.equal next initial);
+  (* The new config is much worse: tuner must reverse to the best (initial). *)
+  ignore (Tuner.record t 50.0);
+  ignore (Tuner.record t 50.0);
+  match Tuner.record t 50.0 with
+  | Tuner.Reconfigure c ->
+      check_bool "reversed to best" true (Config.equal c initial)
+  | Tuner.Keep_measuring -> Alcotest.fail "expected reverse"
+
+let test_small_improvement_continues () =
+  let t = Tuner.create initial in
+  ignore (Tuner.record t 100.0);
+  ignore (Tuner.record t 100.0);
+  let c1 =
+    match Tuner.record t 100.0 with
+    | Tuner.Reconfigure c -> c
+    | Tuner.Keep_measuring -> Alcotest.fail "move"
+  in
+  ignore (Tuner.record t 110.0);
+  ignore (Tuner.record t 110.0);
+  match Tuner.record t 110.0 with
+  | Tuner.Reconfigure c2 ->
+      (* Improved: keep climbing (a fresh uncharted config, not a reverse). *)
+      check_bool "kept moving" false (Config.equal c2 c1);
+      check_bool "not back to start" false (Config.equal c2 initial)
+  | Tuner.Keep_measuring -> Alcotest.fail "expected another move"
+
+let test_convergence_on_locks_landscape () =
+  (* Throughput rises with log2(locks) up to 2^14 then falls: the tuner must
+     end up near 2^14. *)
+  let f (c : Config.t) =
+    let e = Tstm_util.Bitops.log2 c.Config.n_locks in
+    1000.0 -. (50.0 *. Float.abs (float_of_int e -. 14.0))
+    -. (10.0 *. float_of_int c.Config.shifts)
+    -. (10.0 *. float_of_int (Tstm_util.Bitops.log2 c.Config.hierarchy))
+  in
+  let t = drive ~steps:60 f in
+  match Tuner.best t with
+  | Some (c, _) ->
+      let e = Tstm_util.Bitops.log2 c.Config.n_locks in
+      check_bool (Printf.sprintf "converged near 2^14 (got 2^%d)" e) true
+        (abs (e - 14) <= 1)
+  | None -> Alcotest.fail "nothing explored"
+
+let test_convergence_on_shifts_landscape () =
+  let f (c : Config.t) =
+    800.0 -. (60.0 *. Float.abs (float_of_int c.Config.shifts -. 3.0))
+  in
+  let t = drive ~seed:5 ~steps:60 f in
+  match Tuner.best t with
+  | Some (c, _) ->
+      check_bool
+        (Printf.sprintf "converged near shifts=3 (got %d)" c.Config.shifts)
+        true
+        (abs (c.Config.shifts - 3) <= 1)
+  | None -> Alcotest.fail "nothing explored"
+
+let test_forbidden_wall_after_big_drop () =
+  (* Throughput collapses for shifts > 2 (drop far beyond 10%): once the
+     tuner has burned itself, it must never explore shifts >= 4 again. *)
+  let f (c : Config.t) = if c.Config.shifts > 2 then 10.0 else 500.0 in
+  let t = drive ~seed:3 ~steps:80 f in
+  let visited = Tuner.history t in
+  let offenders =
+    List.filter
+      (fun (s : Tuner.step) -> s.Tuner.config.Config.shifts > 3)
+      visited
+  in
+  check_int "never explored past the wall" 0 (List.length offenders)
+
+let test_configs_always_valid () =
+  let f (c : Config.t) =
+    float_of_int (Tstm_util.Bitops.mix (Hashtbl.hash c) land 1023)
+  in
+  let t = drive ~seed:9 ~steps:100 f in
+  List.iter
+    (fun (s : Tuner.step) -> Config.validate s.Tuner.config)
+    (Tuner.history t);
+  check_bool "explored several configs" true (Tuner.explored t >= 5)
+
+let test_history_in_order () =
+  let t = Tuner.create initial in
+  for i = 1 to 9 do
+    ignore (Tuner.record t (float_of_int (100 + i)))
+  done;
+  let h = Tuner.history t in
+  check_int "three steps" 3 (List.length h);
+  (match h with
+  | first :: _ ->
+      check_bool "first step is the initial config" true
+        (Config.equal first.Tuner.config initial)
+  | [] -> Alcotest.fail "empty history");
+  List.iter (fun (s : Tuner.step) -> check_bool "thr > 0" true (s.Tuner.throughput > 0.0)) h
+
+let test_move_labels () =
+  Alcotest.(check (list string))
+    "paper numbering"
+    [ "1"; "2"; "3"; "4"; "5"; "6"; "7"; "8" ]
+    (List.map Tuner.move_label
+       [
+         Tuner.Locks_double;
+         Tuner.Locks_halve;
+         Tuner.Shifts_up;
+         Tuner.Shifts_down;
+         Tuner.Hier_double;
+         Tuner.Hier_halve;
+         Tuner.Nop;
+         Tuner.Reverse;
+       ])
+
+let test_hierarchy_never_exceeds_locks () =
+  let f (c : Config.t) =
+    (* Reward small lock arrays and big hierarchies to push at the h <= locks
+       boundary. *)
+    1000.0
+    -. (20.0 *. float_of_int (Tstm_util.Bitops.log2 c.Config.n_locks))
+    +. (30.0 *. float_of_int (Tstm_util.Bitops.log2 c.Config.hierarchy))
+  in
+  let t = drive ~seed:11 ~steps:120 f in
+  List.iter
+    (fun (s : Tuner.step) ->
+      check_bool "h <= locks" true
+        (s.Tuner.config.Config.hierarchy <= s.Tuner.config.Config.n_locks))
+    (Tuner.history t)
+
+let prop_tuner_deterministic =
+  QCheck.Test.make ~name:"tuner is deterministic for a given seed" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let run () =
+        let t = Tuner.create ~seed initial in
+        let g = Tstm_util.Xrand.create seed in
+        for _ = 1 to 60 do
+          ignore (Tuner.record t (float_of_int (Tstm_util.Xrand.int g 1000)))
+        done;
+        List.map
+          (fun (s : Tuner.step) -> (Config.to_string s.Tuner.config, s.Tuner.throughput))
+          (Tuner.history t)
+      in
+      run () = run ())
+
+let () =
+  Alcotest.run "tstm_tuning"
+    [
+      ( "decisions",
+        [
+          Alcotest.test_case "three samples per config" `Quick
+            test_keep_measuring_until_three;
+          Alcotest.test_case "max of samples" `Quick test_uses_max_of_samples;
+          Alcotest.test_case "first move explores" `Quick
+            test_first_move_explores;
+          Alcotest.test_case "reverse on drop" `Quick test_reverse_on_big_drop;
+          Alcotest.test_case "improvement continues" `Quick
+            test_small_improvement_continues;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "converges on locks" `Quick
+            test_convergence_on_locks_landscape;
+          Alcotest.test_case "converges on shifts" `Quick
+            test_convergence_on_shifts_landscape;
+          Alcotest.test_case "forbidden walls" `Quick
+            test_forbidden_wall_after_big_drop;
+          Alcotest.test_case "configs valid" `Quick test_configs_always_valid;
+          Alcotest.test_case "h <= locks" `Quick
+            test_hierarchy_never_exceeds_locks;
+        ] );
+      ( "bookkeeping",
+        [
+          Alcotest.test_case "history order" `Quick test_history_in_order;
+          Alcotest.test_case "move labels" `Quick test_move_labels;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest [ prop_tuner_deterministic ] );
+    ]
