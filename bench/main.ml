@@ -6,6 +6,10 @@
      dune exec bench/main.exe -- --fig 6 --full
      dune exec bench/main.exe -- --micro      Bechamel microbenchmarks only
      dune exec bench/main.exe -- --ablation   cost-model ablation sweep
+     dune exec bench/main.exe -- --trace t.json --metrics-csv m.csv \
+                                  --top-contended 10
+                                              observed flagship run
+                                              (list 256, 20%, 8 threads)
 
    The figure drivers regenerate every figure of the paper's evaluation
    (Figs. 2-12) on the simulated 8-core runtime; the microbenchmarks time
@@ -204,6 +208,40 @@ let run_ablation () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Observed run                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The flagship comparison point (Fig. 3b: list, 256 elements, 20% updates,
+   8 threads) run under a live observability sink, exporting whatever the
+   --trace/--metrics-csv/--top-contended flags asked for. *)
+let run_observed ~trace ~metrics_csv ~top_contended =
+  print_endline "=== Observed run (list 256, 20% updates, 8 threads, WB) ===";
+  let spec =
+    Tstm_harness.Workload.make ~structure:Tstm_harness.Workload.List
+      ~initial_size:256 ~update_pct:20.0 ~nthreads:8 ~duration:0.005 ()
+  in
+  let r, collector, metrics =
+    Tstm_harness.Scenario.run_intset_observed
+      ~stm:Tstm_harness.Scenario.Tinystm_wb ~period:0.0005 ~n_periods:10 spec
+  in
+  Format.printf "%a@." Tstm_harness.Workload.pp_result r;
+  print_string (Tstm_obs.Export.histo_summary collector);
+  (match trace with
+  | Some path ->
+      Tstm_obs.Export.write_chrome_trace ~path collector;
+      Printf.printf "(trace written to %s)\n" path
+  | None -> ());
+  (match metrics_csv with
+  | Some path ->
+      Tstm_obs.Metrics.write ~path metrics;
+      Printf.printf "(metrics CSV written to %s)\n" path
+  | None -> ());
+  (match top_contended with
+  | Some n -> print_string (Tstm_obs.Export.top_contended ~n collector)
+  | None -> ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Figures                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -231,7 +269,19 @@ let () =
     | _ :: rest -> fig_arg rest
     | [] -> None
   in
-  if List.mem "--micro" args then run_micro ()
+  let rec opt_after flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> opt_after flag rest
+    | [] -> None
+  in
+  let trace = opt_after "--trace" args in
+  let metrics_csv = opt_after "--metrics-csv" args in
+  let top_contended =
+    Option.map int_of_string (opt_after "--top-contended" args)
+  in
+  if trace <> None || metrics_csv <> None || top_contended <> None then
+    run_observed ~trace ~metrics_csv ~top_contended
+  else if List.mem "--micro" args then run_micro ()
   else if List.mem "--ablation" args then run_ablation ()
   else
     match fig_arg args with

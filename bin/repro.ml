@@ -135,15 +135,76 @@ let hierarchy_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the run and write a Chrome trace-event JSON to $(docv) \
+           (loadable in Perfetto or chrome://tracing).")
+
+let metrics_csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-csv" ] ~docv:"FILE"
+        ~doc:
+          "Record the run and write per-measurement-period metrics (one CSV \
+           row per period) to $(docv).")
+
+let top_contended_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "top-contended" ] ~docv:"N"
+        ~doc:
+          "Record the run and print the $(docv) most contended cache lines, \
+           split into true conflicts and false sharing.")
+
+let periods_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "periods" ]
+        ~doc:
+          "Measurement periods for observed runs (duration is split evenly; \
+           only used with --trace/--metrics-csv/--top-contended).")
+
 let run_cmd =
   let run structure stm size updates overwrites threads duration locks_exp
-      shifts hierarchy seed =
+      shifts hierarchy seed trace metrics_csv top_contended periods =
     let spec =
       W.make ~structure ~initial_size:size ~update_pct:updates
         ~overwrite_pct:overwrites ~nthreads:threads ~duration ~seed ()
     in
+    let observing =
+      trace <> None || metrics_csv <> None || top_contended <> None
+    in
     let r =
-      S.run_intset ~stm ~n_locks:(1 lsl locks_exp) ~shifts ~hierarchy spec
+      if not observing then
+        S.run_intset ~stm ~n_locks:(1 lsl locks_exp) ~shifts ~hierarchy spec
+      else begin
+        let n_periods = max 1 periods in
+        let period = duration /. float_of_int n_periods in
+        let r, collector, metrics =
+          S.run_intset_observed ~stm ~n_locks:(1 lsl locks_exp) ~shifts
+            ~hierarchy ~period ~n_periods spec
+        in
+        (match trace with
+        | Some path ->
+            Tstm_obs.Export.write_chrome_trace ~path collector;
+            Printf.printf "(trace written to %s)\n" path
+        | None -> ());
+        (match metrics_csv with
+        | Some path ->
+            Tstm_obs.Metrics.write ~path metrics;
+            Printf.printf "(metrics CSV written to %s)\n" path
+        | None -> ());
+        (match top_contended with
+        | Some n -> print_string (Tstm_obs.Export.top_contended ~n collector)
+        | None -> ());
+        r
+      end
     in
     Format.printf "%s %s size=%d updates=%.0f%% threads=%d: %a@."
       (S.stm_label stm)
@@ -155,7 +216,8 @@ let run_cmd =
     Term.(
       const run $ structure_arg $ stm_arg $ size_arg $ updates_arg
       $ overwrites_arg $ threads_arg $ duration_arg $ locks_exp_arg
-      $ shifts_arg $ hierarchy_arg $ seed_arg)
+      $ shifts_arg $ hierarchy_arg $ seed_arg $ trace_arg $ metrics_csv_arg
+      $ top_contended_arg $ periods_arg)
 
 let sweep_cmd =
   let axis_conv =

@@ -161,4 +161,61 @@ struct
             incr mine;
             R.set ctl (commit_slot tid) !mine
           done)
+
+  (* ------------------------------------------------------------------ *)
+  (* Observed runs: per-period metric rows for the CSV exporter          *)
+  (* ------------------------------------------------------------------ *)
+
+  let obs_columns =
+    [
+      "period";
+      "t_end_s";
+      "throughput_tx_s";
+      "commits";
+      "aborts";
+      "aborts_read_conflict";
+      "aborts_write_conflict";
+      "aborts_validation";
+      "aborts_rollover";
+      "p50_commit_cycles";
+      "p99_commit_cycles";
+      "p50_abort_cycles";
+      "p99_abort_cycles";
+    ]
+
+  let run_observed t ops (spec : Workload.spec) ~period ~n_periods collector =
+    let module S = Tstm_tm.Tm_stats in
+    let module H = Tstm_obs.Histo in
+    let m = Tstm_obs.Metrics.create ~columns:obs_columns in
+    let prev = ref (S.create ()) in
+    let prev_commit = ref (H.copy collector.Tstm_obs.Sink.commit_latency) in
+    let prev_abort = ref (H.copy collector.Tstm_obs.Sink.abort_latency) in
+    let on_period idx thr (cum : S.t) =
+      let p = !prev in
+      let commit_h = H.diff collector.Tstm_obs.Sink.commit_latency ~since:!prev_commit in
+      let abort_h = H.diff collector.Tstm_obs.Sink.abort_latency ~since:!prev_abort in
+      let d fld = float_of_int (fld cum - fld p) in
+      Tstm_obs.Metrics.add_row m
+        [|
+          float_of_int idx;
+          R.now ();
+          thr;
+          d (fun s -> s.S.commits);
+          d S.aborts;
+          d (fun s -> s.S.aborts_read_conflict);
+          d (fun s -> s.S.aborts_write_conflict);
+          d (fun s -> s.S.aborts_validation);
+          d (fun s -> s.S.aborts_rollover);
+          float_of_int (H.percentile commit_h 50.0);
+          float_of_int (H.percentile commit_h 99.0);
+          float_of_int (H.percentile abort_h 50.0);
+          float_of_int (H.percentile abort_h 99.0);
+        |];
+      prev := S.copy cum;
+      prev_commit := H.copy collector.Tstm_obs.Sink.commit_latency;
+      prev_abort := H.copy collector.Tstm_obs.Sink.abort_latency
+    in
+    run_with_control t ops spec ~period ~n_periods ~on_period;
+    let elapsed = period *. float_of_int n_periods in
+    (result_of_stats elapsed (T.stats t), m)
 end

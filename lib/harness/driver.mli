@@ -42,4 +42,23 @@ module Make
       re-tune the STM (e.g. [Tinystm.set_config]); the next period starts
       after it returns.  The run ends after [n_periods] callbacks
       ([spec.duration] is ignored). *)
+
+  val obs_columns : string list
+  (** Column names of the per-period metrics emitted by {!run_observed}. *)
+
+  val run_observed :
+    T.t ->
+    ops ->
+    Workload.spec ->
+    period:float ->
+    n_periods:int ->
+    Tstm_obs.Sink.collector ->
+    Workload.result * Tstm_obs.Metrics.t
+  (** {!run_with_control} with a metrics recorder as the controller: one
+      {!Tstm_obs.Metrics} row per measurement period (virtual end time,
+      throughput, commit/abort breakdown deltas, and p50/p99 commit and
+      abort latencies over that period, read from [collector]'s
+      histograms).  The caller is responsible for installing [collector]
+      as the active sink — typically via [Tstm_obs.Sink.with_sink] — so
+      that the latency histograms actually fill. *)
 end

@@ -6,6 +6,10 @@ module D_ts = Driver.Make (R) (Ts)
 module D_tl = Driver.Make (R) (Tl)
 module Config = Tinystm.Config
 
+(* Timestamps for layers without a runtime handle (the tuner) come from the
+   sink's clock; every scenario runs on the simulated runtime. *)
+let () = Tstm_obs.Sink.set_clock R.now_cycles
+
 type stm_kind = Tinystm_wb | Tinystm_wt | Tl2
 
 let stm_label = function
@@ -37,6 +41,38 @@ let run_intset ~stm ?(n_locks = default_locks) ?(shifts = 0) ?(hierarchy = 1)
       let ops = D_ts.make_structure t spec.Workload.structure in
       D_ts.populate t ops spec;
       D_ts.run t ops spec
+
+let run_intset_observed ~stm ?(n_locks = default_locks) ?(shifts = 0)
+    ?(hierarchy = 1) ?(hierarchy2 = 1) ?ring_capacity ~period ~n_periods
+    (spec : Workload.spec) =
+  let words = Workload.memory_words_for spec in
+  let collector = Tstm_obs.Sink.collector ?ring_capacity () in
+  (* The sink goes live only for the measured run: population noise stays
+     out of the trace, and the previous sink (normally [Null]) comes back
+     afterwards even on exceptions. *)
+  let observe f = Tstm_obs.Sink.with_sink (Tstm_obs.Sink.Collect collector) f in
+  let result, metrics =
+    match stm with
+    | Tl2 ->
+        let t = Tl.create ~n_locks ~shifts ~memory_words:words () in
+        let ops = D_tl.make_structure t spec.Workload.structure in
+        D_tl.populate t ops spec;
+        observe (fun () ->
+            D_tl.run_observed t ops spec ~period ~n_periods collector)
+    | Tinystm_wb | Tinystm_wt ->
+        let strategy =
+          if stm = Tinystm_wb then Config.Write_back else Config.Write_through
+        in
+        let config =
+          Config.make ~n_locks ~shifts ~hierarchy ~hierarchy2 ~strategy ()
+        in
+        let t = Ts.create ~config ~memory_words:words () in
+        let ops = D_ts.make_structure t spec.Workload.structure in
+        D_ts.populate t ops spec;
+        observe (fun () ->
+            D_ts.run_observed t ops spec ~period ~n_periods collector)
+  in
+  (result, collector, metrics)
 
 let run_vacation ?(n_locks = default_locks) ?(shifts = 0) ?(hierarchy = 1)
     ?(spec = Vac.default_spec) ~nthreads ~duration ~seed () =

@@ -24,6 +24,23 @@ val run_intset :
     [hierarchy]), build and populate the spec's structure, run the
     workload. *)
 
+val run_intset_observed :
+  stm:stm_kind ->
+  ?n_locks:int ->
+  ?shifts:int ->
+  ?hierarchy:int ->
+  ?hierarchy2:int ->
+  ?ring_capacity:int ->
+  period:float ->
+  n_periods:int ->
+  Workload.spec ->
+  Workload.result * Tstm_obs.Sink.collector * Tstm_obs.Metrics.t
+(** {!run_intset} under a live observability sink: the measured run (not
+    the population phase) records events into a fresh collector and one
+    metrics row per measurement period; the previous sink is restored on
+    return.  Total measured time is [period * n_periods] virtual seconds.
+    Deterministic: same spec and seed give byte-identical traces. *)
+
 val run_vacation :
   ?n_locks:int ->
   ?shifts:int ->

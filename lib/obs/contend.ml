@@ -1,0 +1,63 @@
+type entry = {
+  label : string;
+  line : int;
+  mutable transfers : int;
+  mutable true_conflicts : int;
+  mutable false_sharing : int;
+}
+
+type t = { tbl : (string * int, entry) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 256 }
+let clear t = Hashtbl.reset t.tbl
+
+let record t ~label ~line ~same_word =
+  let e =
+    match Hashtbl.find_opt t.tbl (label, line) with
+    | Some e -> e
+    | None ->
+        let e =
+          { label; line; transfers = 0; true_conflicts = 0; false_sharing = 0 }
+        in
+        Hashtbl.add t.tbl (label, line) e;
+        e
+  in
+  e.transfers <- e.transfers + 1;
+  if same_word then e.true_conflicts <- e.true_conflicts + 1
+  else e.false_sharing <- e.false_sharing + 1
+
+let total_transfers t =
+  Hashtbl.fold (fun _ e acc -> acc + e.transfers) t.tbl 0
+
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+  |> List.sort (fun a b ->
+         match compare b.transfers a.transfers with
+         | 0 -> (
+             match compare a.label b.label with
+             | 0 -> compare a.line b.line
+             | c -> c)
+         | c -> c)
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let top t n = take n (entries t)
+
+let pp_top ~n ppf t =
+  let es = top t n in
+  if es = [] then Format.fprintf ppf "no contended cache lines recorded@."
+  else begin
+    Format.fprintf ppf "top %d contended cache lines (of %d transfers):@."
+      (List.length es) (total_transfers t);
+    Format.fprintf ppf "%-10s %8s %10s %10s %10s %8s@." "array" "line"
+      "transfers" "true-conf" "false-shr" "false%";
+    List.iter
+      (fun e ->
+        Format.fprintf ppf "%-10s %8d %10d %10d %10d %7.1f%%@." e.label e.line
+          e.transfers e.true_conflicts e.false_sharing
+          (100.0 *. float_of_int e.false_sharing /. float_of_int e.transfers))
+      es
+  end

@@ -1,0 +1,35 @@
+(** Per-cache-line contention attribution.
+
+    The simulated cache model reports every coherence line transfer (a line
+    pulled out of another CPU's cache, or other copies invalidated before a
+    write) together with whether the access hit the {e same word} the
+    previous owner last wrote.  Aggregated per labelled shared array and
+    line, this separates true conflicts (same word — e.g. two transactions
+    hammering one lock stripe) from false sharing (different words on one
+    line — the paper's §3.2 [#shifts] story on the lock array). *)
+
+type entry = {
+  label : string;  (** shared-array label, e.g. ["locks"] *)
+  line : int;  (** line index within that array *)
+  mutable transfers : int;  (** total coherence transfers *)
+  mutable true_conflicts : int;  (** transfers on the previously-written word *)
+  mutable false_sharing : int;  (** transfers on a different word of the line *)
+}
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val record : t -> label:string -> line:int -> same_word:bool -> unit
+
+val total_transfers : t -> int
+
+val entries : t -> entry list
+(** Sorted by transfer count (descending), then label, then line — a
+    deterministic order independent of hash-table iteration. *)
+
+val top : t -> int -> entry list
+
+val pp_top : n:int -> Format.formatter -> t -> unit
+(** Pretty top-[n] report with a false-sharing/true-conflict breakdown. *)

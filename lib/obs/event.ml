@@ -1,0 +1,53 @@
+type t =
+  | Tx_begin
+  | Tx_commit of { read_only : bool; reads : int; writes : int; retries : int }
+  | Tx_abort of { reason : string; retries : int }
+  | Lock_acquire of { lock : int }
+  | Lock_release of { lock : int }
+  | Clock_extend
+  | Clock_rollover
+  | Tuner_move of { label : string }
+  | Cache_transfer of {
+      label : string;
+      line : int;
+      word : int;
+      same_word : bool;
+    }
+
+let name = function
+  | Tx_begin -> "tx_begin"
+  | Tx_commit _ -> "tx_commit"
+  | Tx_abort _ -> "tx_abort"
+  | Lock_acquire _ -> "lock_acquire"
+  | Lock_release _ -> "lock_release"
+  | Clock_extend -> "clock_extend"
+  | Clock_rollover -> "clock_rollover"
+  | Tuner_move _ -> "tuner_move"
+  | Cache_transfer _ -> "cache_transfer"
+
+let args = function
+  | Tx_begin | Clock_extend | Clock_rollover -> []
+  | Tx_commit { read_only; reads; writes; retries } ->
+      [
+        ("outcome", "commit");
+        ("read_only", string_of_bool read_only);
+        ("reads", string_of_int reads);
+        ("writes", string_of_int writes);
+        ("retries", string_of_int retries);
+      ]
+  | Tx_abort { reason; retries } ->
+      [
+        ("outcome", "abort");
+        ("reason", reason);
+        ("retries", string_of_int retries);
+      ]
+  | Lock_acquire { lock } | Lock_release { lock } ->
+      [ ("lock", string_of_int lock) ]
+  | Tuner_move { label } -> [ ("config", label) ]
+  | Cache_transfer { label; line; word; same_word } ->
+      [
+        ("array", label);
+        ("line", string_of_int line);
+        ("word", string_of_int word);
+        ("kind", if same_word then "true-conflict" else "false-sharing");
+      ]

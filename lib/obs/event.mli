@@ -1,0 +1,32 @@
+(** Typed trace events recorded by the observability layer.
+
+    Events are emitted by the STM implementations, the simulated runtime and
+    the tuner through {!Sink} and stamped there with a virtual-time cycle
+    count and the emitting CPU id; the payloads below carry only what the
+    emitting site knows locally.  Abort reasons travel as strings (produced
+    by [Tm_stats.abort_reason_to_string]) so this library stays below
+    [tstm_tm] in the dependency order. *)
+
+type t =
+  | Tx_begin  (** one per attempt: a retry emits a fresh [Tx_begin] *)
+  | Tx_commit of { read_only : bool; reads : int; writes : int; retries : int }
+  | Tx_abort of { reason : string; retries : int }
+  | Lock_acquire of { lock : int }  (** lock-array index *)
+  | Lock_release of { lock : int }
+  | Clock_extend  (** successful snapshot extension *)
+  | Clock_rollover  (** clock wrapped; lock array reset under a fence *)
+  | Tuner_move of { label : string }  (** the tuner reconfigured the STM *)
+  | Cache_transfer of {
+      label : string;  (** shared-array label, e.g. ["locks"] *)
+      line : int;  (** line index within that array *)
+      word : int;  (** word index of the access that paid the transfer *)
+      same_word : bool;
+          (** the previous owner last wrote this very word: a true conflict
+              rather than false sharing *)
+    }
+
+val name : t -> string
+(** Short stable name, used for Chrome-trace event names. *)
+
+val args : t -> (string * string) list
+(** Payload as key/value strings for exporters (values are raw, unquoted). *)

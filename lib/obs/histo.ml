@@ -1,0 +1,94 @@
+(* 62 value buckets cover every non-negative OCaml int: bucket 0 is the
+   value 0, bucket k holds [2^(k-1), 2^k). *)
+let nbuckets = 63
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable total : int;
+  mutable max_v : int;
+}
+
+let create () = { counts = Array.make nbuckets 0; n = 0; total = 0; max_v = 0 }
+
+let clear t =
+  Array.fill t.counts 0 nbuckets 0;
+  t.n <- 0;
+  t.total <- 0;
+  t.max_v <- 0
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref v in
+    while !v > 0 do
+      incr b;
+      v := !v lsr 1
+    done;
+    !b
+  end
+
+let lower_bound k = if k <= 0 then 0 else 1 lsl (k - 1)
+let upper_bound k = if k <= 0 then 0 else (1 lsl k) - 1
+
+let record t v =
+  let v = max 0 v in
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.n <- t.n + 1;
+  t.total <- t.total + v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.n
+let bucket_count t k = t.counts.(k)
+let sum t = t.total
+let mean t = if t.n = 0 then 0.0 else float_of_int t.total /. float_of_int t.n
+let max_value t = t.max_v
+
+let percentile t p =
+  if t.n = 0 then 0
+  else begin
+    let need = p /. 100.0 *. float_of_int t.n in
+    let cum = ref 0 and k = ref 0 and res = ref 0 in
+    let found = ref false in
+    while (not !found) && !k < nbuckets do
+      cum := !cum + t.counts.(!k);
+      if float_of_int !cum >= need && t.counts.(!k) > 0 then begin
+        res := min (upper_bound !k) t.max_v;
+        found := true
+      end;
+      incr k
+    done;
+    if !found then !res else t.max_v
+  end
+
+let merge ~dst t =
+  for k = 0 to nbuckets - 1 do
+    dst.counts.(k) <- dst.counts.(k) + t.counts.(k)
+  done;
+  dst.n <- dst.n + t.n;
+  dst.total <- dst.total + t.total;
+  if t.max_v > dst.max_v then dst.max_v <- t.max_v
+
+let copy t =
+  let c = create () in
+  merge ~dst:c t;
+  c
+
+let diff cur ~since =
+  let d = create () in
+  for k = 0 to nbuckets - 1 do
+    let v = cur.counts.(k) - since.counts.(k) in
+    if v < 0 then invalid_arg "Histo.diff: not a snapshot of the same histogram";
+    d.counts.(k) <- v
+  done;
+  d.n <- cur.n - since.n;
+  d.total <- cur.total - since.total;
+  (* The exact maximum of the window is unknown; the cumulative max is a
+     safe upper bound for percentile clamping. *)
+  d.max_v <- cur.max_v;
+  d
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.1f p50=%d p90=%d p99=%d max=%d" t.n (mean t)
+    (percentile t 50.0) (percentile t 90.0) (percentile t 99.0) t.max_v

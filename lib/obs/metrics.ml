@@ -1,0 +1,39 @@
+type t = { cols : string array; mutable rows_rev : float array list }
+
+let create ~columns =
+  if columns = [] then invalid_arg "Metrics.create: no columns";
+  { cols = Array.of_list columns; rows_rev = [] }
+
+let columns t = Array.to_list t.cols
+
+let add_row t row =
+  if Array.length row <> Array.length t.cols then
+    invalid_arg "Metrics.add_row: width mismatch";
+  t.rows_rev <- Array.copy row :: t.rows_rev
+
+let n_rows t = List.length t.rows_rev
+let rows t = List.rev t.rows_rev
+
+let to_csv t =
+  let b = Buffer.create 1024 in
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b c)
+    t.cols;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun row ->
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (Printf.sprintf "%.6g" v))
+        row;
+      Buffer.add_char b '\n')
+    (rows t);
+  Buffer.contents b
+
+let write ~path t =
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc

@@ -1,0 +1,23 @@
+(** Per-measurement-period metric time series and their CSV rendering.
+
+    A generic named-column float table: the harness appends one row per
+    measurement period (throughput, abort breakdown, latency percentiles…)
+    and exports the result as CSV.  Formatting is deterministic ([%.6g]) so
+    two identical simulated runs emit byte-identical files. *)
+
+type t
+
+val create : columns:string list -> t
+val columns : t -> string list
+
+val add_row : t -> float array -> unit
+(** Raises [Invalid_argument] when the width does not match [columns]. *)
+
+val n_rows : t -> int
+val rows : t -> float array list
+(** In insertion order. *)
+
+val to_csv : t -> string
+(** Header line plus one line per row. *)
+
+val write : path:string -> t -> unit

@@ -1,0 +1,56 @@
+type stamped = { ts : int; cpu : int; ev : Event.t }
+
+type t = {
+  cap : int;
+  mutable data : stamped array;
+  mutable head : int;  (* index of the oldest entry *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let dummy = { ts = 0; cpu = 0; ev = Event.Tx_begin }
+
+let create ?(capacity = 1 lsl 16) () =
+  if capacity < 1 then invalid_arg "Ring.create: capacity < 1";
+  { cap = capacity; data = Array.make (min 64 capacity) dummy; head = 0; len = 0; dropped = 0 }
+
+(* Growth only ever happens before the first wrap, so [head = 0] and a plain
+   blit preserves order. *)
+let grow t =
+  let n = min t.cap (2 * Array.length t.data) in
+  let data = Array.make n dummy in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data && t.len < t.cap then grow t;
+  let n = Array.length t.data in
+  if t.len < n then begin
+    t.data.((t.head + t.len) mod n) <- x;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.data.(t.head) <- x;
+    t.head <- (t.head + 1) mod n;
+    t.dropped <- t.dropped + 1
+  end
+
+let length t = t.len
+let capacity t = t.cap
+let dropped t = t.dropped
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+let iter t f =
+  let n = Array.length t.data in
+  for k = 0 to t.len - 1 do
+    f t.data.((t.head + k) mod n)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun x -> acc := x :: !acc);
+  List.rev !acc

@@ -1,0 +1,33 @@
+(** Fixed-capacity ring buffer of stamped trace events.
+
+    One ring per simulated CPU keeps event recording allocation-cheap and
+    naturally bounded: the store grows geometrically (the [Util.Growbuf]
+    idiom) until it reaches [capacity], after which new events overwrite the
+    oldest and the {!dropped} counter advances.  Iteration is always oldest
+    to newest. *)
+
+type stamped = { ts : int;  (** virtual-time cycles *) cpu : int; ev : Event.t }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to [65536] events; it must be positive. *)
+
+val push : t -> stamped -> unit
+
+val length : t -> int
+(** Number of events currently held, [<= capacity]. *)
+
+val capacity : t -> int
+
+val dropped : t -> int
+(** Events overwritten because the ring was full. *)
+
+val clear : t -> unit
+(** Forget all events (and the dropped count). *)
+
+val iter : t -> (stamped -> unit) -> unit
+(** Oldest to newest. *)
+
+val to_list : t -> stamped list
+(** Oldest first. *)

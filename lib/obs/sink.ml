@@ -1,0 +1,78 @@
+type collector = {
+  rings : Ring.t array;
+  contend : Contend.t;
+  commit_latency : Histo.t;
+  abort_latency : Histo.t;
+  retries : Histo.t;
+  read_set : Histo.t;
+  write_set : Histo.t;
+}
+
+type t = Null | Collect of collector
+
+(* Mirrors the simulated runtime's CPU bound. *)
+let max_cpus = 64
+
+let collector ?ring_capacity () =
+  {
+    rings = Array.init max_cpus (fun _ -> Ring.create ?capacity:ring_capacity ());
+    contend = Contend.create ();
+    commit_latency = Histo.create ();
+    abort_latency = Histo.create ();
+    retries = Histo.create ();
+    read_set = Histo.create ();
+    write_set = Histo.create ();
+  }
+
+let sink = ref Null
+
+(* [active] duplicates the Null/Collect distinction as one mutable bool so
+   the hot-path guard is a single load and compare. *)
+let active = ref false
+
+let install s =
+  sink := s;
+  active := (match s with Null -> false | Collect _ -> true)
+
+let current () = !sink
+let enabled () = !active
+
+let with_sink s f =
+  let prev = !sink in
+  install s;
+  Fun.protect ~finally:(fun () -> install prev) f
+
+let emit ~ts ~cpu ev =
+  match !sink with
+  | Null -> ()
+  | Collect c ->
+      if cpu >= 0 && cpu < Array.length c.rings then
+        Ring.push c.rings.(cpu) { Ring.ts; cpu; ev }
+
+let note_commit ~lat ~retries ~reads ~writes =
+  match !sink with
+  | Null -> ()
+  | Collect c ->
+      Histo.record c.commit_latency lat;
+      Histo.record c.retries retries;
+      Histo.record c.read_set reads;
+      Histo.record c.write_set writes
+
+let note_abort ~lat =
+  match !sink with
+  | Null -> ()
+  | Collect c -> Histo.record c.abort_latency lat
+
+let note_transfer ~ts ~cpu ~label ~line ~word ~same_word =
+  match !sink with
+  | Null -> ()
+  | Collect c ->
+      Contend.record c.contend ~label ~line ~same_word;
+      if cpu >= 0 && cpu < Array.length c.rings then
+        Ring.push c.rings.(cpu)
+          { Ring.ts; cpu; ev = Event.Cache_transfer { label; line; word; same_word } }
+
+let clock = ref (fun () -> 0)
+let set_clock f = clock := f
+let now () = !clock ()
+let emit_now ~cpu ev = emit ~ts:(now ()) ~cpu ev

@@ -1,0 +1,67 @@
+(** The process-global event sink the instrumented layers write to.
+
+    The default sink is {!Null}: every instrumentation site guards its work
+    with {!enabled} (a single mutable-bool load), so a run with tracing off
+    is indistinguishable — in virtual time and in results — from the
+    untouched code.  Installing a {!Collect} sink routes events into
+    per-CPU {!Ring}s, latency/retry/set-size {!Histo}s and a {!Contend}
+    table.
+
+    Emission never charges simulator cycles; a traced simulated run is
+    bit-identical to an untraced one. *)
+
+type collector = {
+  rings : Ring.t array;  (** per-CPU event rings, indexed by CPU id *)
+  contend : Contend.t;  (** cache-line contention attribution *)
+  commit_latency : Histo.t;
+      (** cycles from the last [Tx_begin] to the commit *)
+  abort_latency : Histo.t;  (** cycles wasted by each aborted attempt *)
+  retries : Histo.t;  (** aborted attempts preceding each commit *)
+  read_set : Histo.t;  (** transactional reads per committed transaction *)
+  write_set : Histo.t;  (** transactional writes per committed transaction *)
+}
+
+type t = Null | Collect of collector
+
+val max_cpus : int
+
+val collector : ?ring_capacity:int -> unit -> collector
+(** Fresh, empty collector; [ring_capacity] bounds each per-CPU ring. *)
+
+val install : t -> unit
+val current : unit -> t
+val enabled : unit -> bool
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Install a sink around [f], restoring the previous one afterwards (also
+    on exceptions). *)
+
+(** {1 Emission} — all no-ops under {!Null}. *)
+
+val emit : ts:int -> cpu:int -> Event.t -> unit
+
+val note_commit : lat:int -> retries:int -> reads:int -> writes:int -> unit
+val note_abort : lat:int -> unit
+
+val note_transfer :
+  ts:int ->
+  cpu:int ->
+  label:string ->
+  line:int ->
+  word:int ->
+  same_word:bool ->
+  unit
+(** Record a coherence transfer in the contention table and emit the
+    corresponding {!Event.Cache_transfer}. *)
+
+(** {1 Clock} — lets layers without access to a runtime (the tuner) stamp
+    events with the current virtual time. *)
+
+val set_clock : (unit -> int) -> unit
+(** Install the virtual-time source (e.g. the simulator's cycle counter).
+    The default clock returns [0]. *)
+
+val now : unit -> int
+
+val emit_now : cpu:int -> Event.t -> unit
+(** [emit] stamped via the installed clock. *)

@@ -65,6 +65,8 @@ type t = {
   base : int;  (* global id of this array's line 0 *)
   owner : int array;  (* last exclusive writer per line; -1 = none *)
   sharers : int array;  (* bitmask of CPUs that may hold a copy *)
+  last_word : int array;  (* word index of the last store per line; -1 = none *)
+  mutable label : string option;  (* observability name; None = unattributed *)
 }
 
 let create g len =
@@ -78,7 +80,24 @@ let create g len =
     base;
     owner = Array.make lines (-1);
     sharers = Array.make lines 0;
+    last_word = Array.make lines (-1);
+    label = None;
   }
+
+let set_label t label = t.label <- Some label
+
+(* Report a coherence transfer to the observability sink, separating true
+   word conflicts from false sharing via the line's last-stored word.  Only
+   called on transfers caused by another CPU's copy (not cold misses or
+   capacity refills), and only when tracing is enabled — it never charges
+   cycles, so traced and untraced runs are identical. *)
+let note_transfer t ~cpu ~line ~index =
+  match t.label with
+  | None -> ()
+  | Some label ->
+      Tstm_obs.Sink.note_transfer ~ts:(Sim_sched.now_cycles ()) ~cpu ~label
+        ~line ~word:index
+        ~same_word:(t.last_word.(line) = index)
 
 (* Both cache levels are 8-way set-associative with round-robin replacement
    (a direct-mapped model suffers pathological aliasing whenever an array's
@@ -147,6 +166,7 @@ let read_cost t ~cpu ~index =
   let owner = t.owner.(line) in
   if owner >= 0 && owner <> cpu then begin
     (* Dirty in another CPU's cache: transfer and downgrade to shared. *)
+    if Tstm_obs.Sink.enabled () then note_transfer t ~cpu ~line ~index;
     t.owner.(line) <- -1;
     t.sharers.(line) <- t.sharers.(line) lor bit lor (1 lsl owner);
     touch t.g cpu gline;
@@ -166,17 +186,28 @@ let write_cost t ~cpu ~index =
   let line = index lsr t.line_shift in
   let gline = t.base + line in
   let bit = 1 lsl cpu in
-  if t.owner.(line) = cpu && resident t.g cpu gline then
-    p.write_hit + level_cost t.g cpu gline
-  else if t.sharers.(line) = bit && resident t.g cpu gline then begin
-    (* Sole resident sharer: silent upgrade to exclusive. *)
-    t.owner.(line) <- cpu;
-    p.write_hit + level_cost t.g cpu gline
-  end
-  else begin
-    (* Fetch exclusive ownership and invalidate every other copy. *)
-    t.owner.(line) <- cpu;
-    t.sharers.(line) <- bit;
-    touch t.g cpu gline;
-    p.write_hit + p.line_transfer
-  end
+  let cost =
+    if t.owner.(line) = cpu && resident t.g cpu gline then
+      p.write_hit + level_cost t.g cpu gline
+    else if t.sharers.(line) = bit && resident t.g cpu gline then begin
+      (* Sole resident sharer: silent upgrade to exclusive. *)
+      t.owner.(line) <- cpu;
+      p.write_hit + level_cost t.g cpu gline
+    end
+    else begin
+      (* Fetch exclusive ownership and invalidate every other copy.  When
+         another CPU held a dirty or shared copy this is contention, not a
+         cold miss, and gets attributed. *)
+      if
+        Tstm_obs.Sink.enabled ()
+        && ((t.owner.(line) >= 0 && t.owner.(line) <> cpu)
+           || t.sharers.(line) land lnot bit <> 0)
+      then note_transfer t ~cpu ~line ~index;
+      t.owner.(line) <- cpu;
+      t.sharers.(line) <- bit;
+      touch t.g cpu gline;
+      p.write_hit + p.line_transfer
+    end
+  in
+  t.last_word.(line) <- index;
+  cost

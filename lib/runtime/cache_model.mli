@@ -57,6 +57,13 @@ type t
 val create : global -> int -> t
 (** [create g len] for an array of [len] words. *)
 
+val set_label : t -> string -> unit
+(** Name this array for the observability layer: with a label set and the
+    {!Tstm_obs.Sink} enabled, every coherence transfer is attributed per
+    line — split into true word conflicts vs. false sharing — and emitted
+    as a [Cache_transfer] event.  Unlabelled arrays stay silent.  Labels
+    never affect costs. *)
+
 val read_cost : t -> cpu:int -> index:int -> int
 (** Cost of a load by [cpu]; updates coherence and tag state. *)
 

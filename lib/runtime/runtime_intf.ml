@@ -56,6 +56,16 @@ module type S = sig
       it only advances through {!charge} and shared-memory operations; in the
       real runtime it is the wall clock. *)
 
+  val now_cycles : unit -> int
+  (** Cycle-granularity timestamp for event tracing: the calling fiber's
+      virtual time in the simulator, wall-clock nanoseconds on real
+      hardware.  [0] outside {!run} in the simulator. *)
+
+  val sarray_label : sarray -> string -> unit
+  (** Name a shared array for contention attribution in traces (e.g.
+      ["locks"]).  A no-op on real hardware and whenever the observability
+      sink is disabled; never affects costs or results. *)
+
   val charge : int -> unit
   (** [charge c] accounts [c] cycles of thread-private work.  In the
       simulator this is also a preemption point; a no-op on real hardware. *)

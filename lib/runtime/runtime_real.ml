@@ -26,6 +26,8 @@ let run ~nthreads body =
   List.iter Domain.join domains
 
 let now () = Unix.gettimeofday ()
+let now_cycles () = int_of_float (Unix.gettimeofday () *. 1e9)
+let sarray_label _ _ = ()
 let charge _ = ()
 let charge_local _ = ()
 let yield () = Domain.cpu_relax ()

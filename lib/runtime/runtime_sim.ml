@@ -72,6 +72,9 @@ let now () =
   float_of_int (Sim_sched.now_cycles ())
   /. (!current_params.Cache_model.clock_ghz *. 1e9)
 
+let now_cycles = Sim_sched.now_cycles
+let sarray_label a label = Cache_model.set_label a.cache label
+
 let charge = Sim_sched.charge
 let charge_local = Sim_sched.charge_noyield
 

@@ -11,6 +11,14 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   exception Abort_exn of Stats.abort_reason
 
+  (* Observability: every site guards on [Obs.Sink.enabled] (one bool load)
+     and emission never charges cycles, so traced and untraced runs are
+     identical in virtual time and results. *)
+  module Obs = Tstm_obs
+
+  let obs_on () = Obs.Sink.enabled ()
+  let emit ev = Obs.Sink.emit ~ts:(R.now_cycles ()) ~cpu:(R.tid ()) ev
+
   (* Fixed bookkeeping costs (cycles) charged in the simulated runtime on top
      of the shared-memory access costs; no-ops on real hardware. *)
   let c_tx_begin = 20
@@ -58,6 +66,10 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     f_size : G.t;
     mutable h_dim : int;  (* hierarchy size the arrays above match *)
     mutable last_stamp : int;  (* serialization timestamp of the last commit *)
+    (* Observability bookkeeping (only maintained while tracing is on). *)
+    mutable obs_start : int;  (* cycles at the current attempt's begin *)
+    mutable obs_reads0 : int;  (* stats.reads at the attempt's begin *)
+    mutable obs_writes0 : int;
   }
 
   and t = {
@@ -94,19 +106,28 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       invalid_arg "Tinystm.create: max_clock out of range";
     if conflict_wait < 0 then
       invalid_arg "Tinystm.create: conflict_wait < 0";
-    {
-      mem = V.create ~words:memory_words;
-      cfg = config;
-      locks = R.sarray_make config.Config.n_locks 0;
-      hier = R.sarray_make config.Config.hierarchy 0;
-      hier2 = R.sarray_make config.Config.hierarchy2 0;
-      ctl = R.sarray_make ctl_len 0;
-      flags = R.sarray_make (flag_slot max_threads + 8) 0;
-      descs = Array.make max_threads None;
-      max_threads;
-      max_clock;
-      conflict_wait;
-    }
+    let t =
+      {
+        mem = V.create ~words:memory_words;
+        cfg = config;
+        locks = R.sarray_make config.Config.n_locks 0;
+        hier = R.sarray_make config.Config.hierarchy 0;
+        hier2 = R.sarray_make config.Config.hierarchy2 0;
+        ctl = R.sarray_make ctl_len 0;
+        flags = R.sarray_make (flag_slot max_threads + 8) 0;
+        descs = Array.make max_threads None;
+        max_threads;
+        max_clock;
+        conflict_wait;
+      }
+    in
+    R.sarray_label t.locks "locks";
+    R.sarray_label t.hier "hier";
+    R.sarray_label t.hier2 "hier2";
+    R.sarray_label t.ctl "ctl";
+    R.sarray_label t.flags "flags";
+    R.sarray_label (V.words t.mem) "mem";
+    t
 
   let memory t = t.mem
   let config t = t.cfg
@@ -159,6 +180,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         f_size = G.create 8;
         h_dim = 0;
         last_stamp = 0;
+        obs_start = 0;
+        obs_reads0 = 0;
+        obs_writes0 = 0;
         hmask2 = Hmask.create 1;
         hsnap2 = [||];
         own_inc2 = [||];
@@ -262,7 +286,8 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
           for i = 0 to R.sarray_length t.hier2 - 1 do
             R.set t.hier2 i 0
           done;
-          ignore (R.fetch_add t.ctl rollover_slot 1)
+          ignore (R.fetch_add t.ctl rollover_slot 1);
+          if obs_on () then emit Obs.Event.Clock_rollover
         end)
 
   let set_config t cfg =
@@ -274,6 +299,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         t.locks <- R.sarray_make cfg.Config.n_locks 0;
         t.hier <- R.sarray_make cfg.Config.hierarchy 0;
         t.hier2 <- R.sarray_make cfg.Config.hierarchy2 0;
+        R.sarray_label t.locks "locks";
+        R.sarray_label t.hier "hier";
+        R.sarray_label t.hier2 "hier2";
         R.set t.ctl clock_slot 0)
 
   (* ------------------------------------------------------------------ *)
@@ -403,6 +431,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     if validate t d then begin
       d.rv <- now;
       d.stats.Stats.extensions <- d.stats.Stats.extensions + 1;
+      if obs_on () then emit Obs.Event.Clock_extend;
       true
     end
     else false
@@ -563,6 +592,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
               R.cas t.locks li l
                 (Lockenc.locked ~tid:d.tid ~payload:(G.length d.w_addr))
             then begin
+              if obs_on () then emit (Obs.Event.Lock_acquire { lock = li });
               hier_note_acquired t d addr;
               G.push d.l_idx li;
               G.push d.l_old l;
@@ -579,6 +609,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
             end
         | Config.Write_through ->
             if R.cas t.locks li l (Lockenc.locked ~tid:d.tid ~payload:0) then begin
+              if obs_on () then emit (Obs.Event.Lock_acquire { lock = li });
               hier_note_acquired t d addr;
               G.push d.l_idx li;
               G.push d.l_old l;
@@ -618,18 +649,25 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   let release_locks_commit t d wv =
     let n = G.length d.l_idx in
+    let tracing = obs_on () in
     for k = 0 to n - 1 do
       R.set t.locks (G.get d.l_idx k)
-        (Lockenc.unlocked ~version:wv ~incarnation:0)
+        (Lockenc.unlocked ~version:wv ~incarnation:0);
+      if tracing then emit (Obs.Event.Lock_release { lock = G.get d.l_idx k })
     done
 
   let release_locks_abort t d =
     let n = G.length d.l_idx in
+    let tracing = obs_on () in
+    let released k =
+      if tracing then emit (Obs.Event.Lock_release { lock = G.get d.l_idx k })
+    in
     match t.cfg.Config.strategy with
     | Config.Write_back ->
         (* Memory was never touched: restore the previous lock words. *)
         for k = 0 to n - 1 do
-          R.set t.locks (G.get d.l_idx k) (G.get d.l_old k)
+          R.set t.locks (G.get d.l_idx k) (G.get d.l_old k);
+          released k
         done
     | Config.Write_through ->
         (* Memory was written and restored: bump the incarnation so a racing
@@ -645,7 +683,8 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
             else
               Lockenc.unlocked ~version:(R.get t.ctl clock_slot) ~incarnation:0
           in
-          R.set t.locks (G.get d.l_idx k) word
+          R.set t.locks (G.get d.l_idx k) word;
+          released k
         done
 
   let commit t d =
@@ -736,16 +775,41 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         do_rollover t;
         attempt tries
       end
-      else
+      else begin
+        if obs_on () then begin
+          d.obs_start <- R.now_cycles ();
+          d.obs_reads0 <- d.stats.Stats.reads;
+          d.obs_writes0 <- d.stats.Stats.writes;
+          emit Obs.Event.Tx_begin
+        end;
         match
           let v = f d in
           commit t d;
           v
         with
         | v ->
+            if obs_on () then begin
+              let lat = R.now_cycles () - d.obs_start in
+              let reads = d.stats.Stats.reads - d.obs_reads0 in
+              let writes = d.stats.Stats.writes - d.obs_writes0 in
+              emit
+                (Obs.Event.Tx_commit
+                   { read_only; reads; writes; retries = tries });
+              Obs.Sink.note_commit ~lat ~retries:tries ~reads ~writes
+            end;
             leave_fence t d;
             (v, d.last_stamp)
         | exception Abort_exn reason ->
+            if obs_on () then begin
+              let lat = R.now_cycles () - d.obs_start in
+              emit
+                (Obs.Event.Tx_abort
+                   {
+                     reason = Stats.abort_reason_to_string reason;
+                     retries = tries;
+                   });
+              Obs.Sink.note_abort ~lat
+            end;
             rollback ~record:reason t d;
             leave_fence t d;
             if reason = Stats.Rollover then do_rollover t
@@ -756,6 +820,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
             rollback t d;
             leave_fence t d;
             raise e
+      end
     in
     attempt 0
 

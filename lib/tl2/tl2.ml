@@ -7,6 +7,12 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   exception Abort_exn of Stats.abort_reason
 
+  (* Observability (same discipline as TinySTM: guarded, never charges). *)
+  module Obs = Tstm_obs
+
+  let obs_on () = Obs.Sink.enabled ()
+  let emit ev = Obs.Sink.emit ~ts:(R.now_cycles ()) ~cpu:(R.tid ()) ev
+
   (* TL2 lock words: unlocked = [version | 0]; locked = [tid | 1].  No
      incarnation numbers (write-back never dirties memory before commit) and
      no write-set payload (there is no per-lock chain — that is TinySTM's
@@ -44,6 +50,10 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     a_size : G.t;
     f_addr : G.t;
     f_size : G.t;
+    (* Observability bookkeeping (only maintained while tracing is on). *)
+    mutable obs_start : int;
+    mutable obs_reads0 : int;
+    mutable obs_writes0 : int;
   }
 
   and t = {
@@ -68,15 +78,21 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     if shifts < 0 || shifts > 16 then
       invalid_arg "Tl2.create: shifts out of range";
     if max_threads < 1 then invalid_arg "Tl2.create: max_threads < 1";
-    {
-      mem = V.create ~words:memory_words;
-      n_locks;
-      shifts;
-      locks = R.sarray_make n_locks 0;
-      ctl = R.sarray_make ctl_len 0;
-      descs = Array.make max_threads None;
-      max_threads;
-    }
+    let t =
+      {
+        mem = V.create ~words:memory_words;
+        n_locks;
+        shifts;
+        locks = R.sarray_make n_locks 0;
+        ctl = R.sarray_make ctl_len 0;
+        descs = Array.make max_threads None;
+        max_threads;
+      }
+    in
+    R.sarray_label t.locks "locks";
+    R.sarray_label t.ctl "ctl";
+    R.sarray_label (V.words t.mem) "mem";
+    t
 
   let memory t = t.mem
   let clock_value t = R.get t.ctl clock_slot
@@ -101,6 +117,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       a_size = G.create 8;
       f_addr = G.create 8;
       f_size = G.create 8;
+      obs_start = 0;
+      obs_reads0 = 0;
+      obs_writes0 = 0;
     }
 
   let desc_for t =
@@ -219,8 +238,10 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
   (* ------------------------------------------------------------------ *)
 
   let release_acquired t d =
+    let tracing = obs_on () in
     for k = 0 to G.length d.l_idx - 1 do
-      R.set t.locks (G.get d.l_idx k) (G.get d.l_old k)
+      R.set t.locks (G.get d.l_idx k) (G.get d.l_old k);
+      if tracing then emit (Obs.Event.Lock_release { lock = G.get d.l_idx k })
     done;
     G.clear d.l_idx;
     G.clear d.l_old
@@ -260,6 +281,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
           abort Stats.Write_conflict
         end
         else begin
+          if obs_on () then emit (Obs.Event.Lock_acquire { lock = li });
           G.push d.l_idx li;
           G.push d.l_old l
         end
@@ -307,8 +329,11 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       for k = 0 to G.length d.w_addr - 1 do
         R.set words (G.get d.w_addr k) (G.get d.w_val k)
       done;
+      let tracing = obs_on () in
       for k = 0 to G.length d.l_idx - 1 do
-        R.set t.locks (G.get d.l_idx k) (unlocked ~version:wv)
+        R.set t.locks (G.get d.l_idx k) (unlocked ~version:wv);
+        if tracing then
+          emit (Obs.Event.Lock_release { lock = G.get d.l_idx k })
       done;
       for k = 0 to G.length d.f_addr - 1 do
         V.free t.mem (G.get d.f_addr k) (G.get d.f_size k)
@@ -350,13 +375,38 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       d.in_tx <- true;
       d.read_only <- read_only;
       d.rv <- R.get t.ctl clock_slot;
+      if obs_on () then begin
+        d.obs_start <- R.now_cycles ();
+        d.obs_reads0 <- d.stats.Stats.reads;
+        d.obs_writes0 <- d.stats.Stats.writes;
+        emit Obs.Event.Tx_begin
+      end;
       match
         let v = f d in
         commit t d;
         v
       with
-      | v -> v
+      | v ->
+          if obs_on () then begin
+            let lat = R.now_cycles () - d.obs_start in
+            let reads = d.stats.Stats.reads - d.obs_reads0 in
+            let writes = d.stats.Stats.writes - d.obs_writes0 in
+            emit
+              (Obs.Event.Tx_commit { read_only; reads; writes; retries = tries });
+            Obs.Sink.note_commit ~lat ~retries:tries ~reads ~writes
+          end;
+          v
       | exception Abort_exn reason ->
+          if obs_on () then begin
+            let lat = R.now_cycles () - d.obs_start in
+            emit
+              (Obs.Event.Tx_abort
+                 {
+                   reason = Stats.abort_reason_to_string reason;
+                   retries = tries;
+                 });
+            Obs.Sink.note_abort ~lat
+          end;
           rollback ~record:reason t d;
           backoff d tries;
           attempt (tries + 1)

@@ -88,11 +88,24 @@ let copy t =
   add_into ~dst:c t;
   c
 
+let abort_rate_pct t =
+  let attempts = t.commits + aborts t in
+  if attempts = 0 then 0.0
+  else 100.0 *. float_of_int (aborts t) /. float_of_int attempts
+
+let per_commit n t =
+  if t.commits = 0 then 0.0 else float_of_int n /. float_of_int t.commits
+
+let reads_per_commit t = per_commit t.reads t
+let writes_per_commit t = per_commit t.writes t
+
 let pp ppf t =
   Format.fprintf ppf
     "commits=%d (ro=%d) aborts=%d [rc=%d wc=%d val=%d roll=%d] reads=%d \
-     writes=%d ext=%d validations=%d val-locks processed=%d skipped=%d"
+     writes=%d ext=%d validations=%d val-locks processed=%d skipped=%d | \
+     abort-rate=%.1f%% reads/commit=%.1f writes/commit=%.1f"
     t.commits t.commits_read_only (aborts t) t.aborts_read_conflict
     t.aborts_write_conflict t.aborts_validation t.aborts_rollover t.reads
     t.writes t.extensions t.validations t.val_locks_processed
-    t.val_locks_skipped
+    t.val_locks_skipped (abort_rate_pct t) (reads_per_commit t)
+    (writes_per_commit t)

@@ -40,4 +40,15 @@ val add_into : dst:t -> t -> unit
 (** Accumulate a thread's counters into an aggregate. *)
 
 val copy : t -> t
+
+(** {1 Derived ratios} — [0.] whenever the denominator is zero. *)
+
+val abort_rate_pct : t -> float
+(** Aborts as a percentage of all attempts (commits + aborts). *)
+
+val reads_per_commit : t -> float
+val writes_per_commit : t -> float
+
 val pp : Format.formatter -> t -> unit
+(** Raw counters followed by the derived ratios, so a plain run's stats
+    line is self-explanatory. *)
