@@ -334,9 +334,178 @@ let tune_cmd =
       const run $ structure_arg $ size_arg $ updates_arg $ threads_arg
       $ steps_arg $ period_arg $ seed_arg)
 
+let stress_cmd =
+  let module St = Tstm_harness.Stress in
+  let module Chaos = Tstm_chaos.Chaos in
+  let seeds_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "seeds" ] ~docv:"N" ~doc:"Sweep chaos seeds 0..N-1.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Replay a single chaos seed instead of sweeping (prints the \
+             per-run detail; combine with --sites for a shrunk schedule).")
+  in
+  let all_flag label doc_ =
+    Arg.(value & flag & info [ label ] ~doc:doc_)
+  in
+  let threads_arg =
+    Arg.(value & opt int St.default.St.nthreads & info [ "t"; "threads" ] ~doc:"Simulated CPUs.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int St.default.St.per_thread
+      & info [ "ops" ] ~doc:"Operations per thread.")
+  in
+  let key_range_arg =
+    Arg.(
+      value & opt int St.default.St.key_range
+      & info [ "key-range" ] ~doc:"Keys are drawn uniformly from 1..RANGE.")
+  in
+  let max_retries_arg =
+    Arg.(
+      value & opt int St.default.St.max_retries
+      & info [ "max-retries" ]
+          ~doc:
+            "Retry budget before a transaction escalates to the \
+             serial-irrevocable slow path (0 = never).")
+  in
+  let sites_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sites" ] ~docv:"L"
+          ~doc:
+            "Cap the number of chaos injections that may fire (replaying a \
+             shrunk schedule).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int St.default.St.window
+      & info [ "window" ] ~doc:"Serializability checker window.")
+  in
+  let bug_arg =
+    let bconv =
+      Arg.enum
+        [
+          ("skip-extension", Chaos.Skip_extension);
+          ("skip-validation", Chaos.Skip_validation);
+        ]
+    in
+    Arg.(
+      value
+      & opt (some bconv) None
+      & info [ "bug" ] ~docv:"BUG"
+          ~doc:
+            "Arm a deliberate protocol bug (skip-extension, skip-validation) \
+             to demonstrate the checker catches it.")
+  in
+  let print_report spec (r : St.report) =
+    Printf.printf
+      "%s %s seed=%d: %d ops checked, %d commits, %d aborts, %d escalations, \
+       %d/%d injections fired -> %s\n"
+      (St.stm_code spec.St.stm)
+      (W.structure_to_string spec.St.structure)
+      spec.St.seed r.St.events r.St.commits r.St.aborts r.St.escalations
+      r.St.injected r.St.decisions
+      (match r.St.violation with
+      | None -> "serializable"
+      | Some _ -> "VIOLATION")
+  in
+  let report_failure spec (r : St.report) =
+    (match r.St.violation with
+    | Some msg -> Printf.printf "\nserializability violation:\n%s\n" msg
+    | None -> ());
+    (match St.shrink spec r with
+    | Some { St.limit; report = _ } ->
+        let shrunk = { spec with St.site_limit = Some limit } in
+        Printf.printf
+          "shrunk to %d injection site%s (from %d fired)\nminimal repro: %s\n"
+          limit
+          (if limit = 1 then "" else "s")
+          r.St.injected
+          (St.repro_command shrunk)
+    | None ->
+        Printf.printf "could not shrink; repro: %s\n" (St.repro_command spec))
+  in
+  let run stm all_stms structure all_structures seeds seed threads ops
+      key_range max_retries sites window bug =
+    let base =
+      {
+        St.default with
+        St.stm;
+        structure;
+        nthreads = threads;
+        per_thread = ops;
+        key_range;
+        max_retries;
+        site_limit = sites;
+        bug;
+        window;
+      }
+    in
+    let stms = if all_stms then S.all_stms else [ stm ] in
+    let structures =
+      if all_structures then [ W.List; W.Rbtree; W.Skiplist; W.Hashset ]
+      else [ structure ]
+    in
+    match seed with
+    | Some seed ->
+        (* Replay mode: one seed, full detail per run. *)
+        let failed = ref false in
+        List.iter
+          (fun stm ->
+            List.iter
+              (fun structure ->
+                let spec = { base with St.stm; structure; seed } in
+                let r = St.run_one spec in
+                print_report spec r;
+                if r.St.violation <> None then begin
+                  failed := true;
+                  report_failure spec r
+                end)
+              structures)
+          stms;
+        if !failed then exit 1
+    | None -> (
+        let sw = St.sweep ~seeds ~stms ~structures base in
+        Printf.printf
+          "stress: %d runs (%d seeds x %d stm x %d structures), %d ops \
+           checked, %d injections, %d commits, %d aborts, %d escalations\n"
+          sw.St.runs seeds (List.length stms)
+          (List.length structures)
+          sw.St.total_events sw.St.total_injected sw.St.total_commits
+          sw.St.total_aborts sw.St.total_escalations;
+        match sw.St.first_failure with
+        | None -> Printf.printf "zero serializability violations\n"
+        | Some (spec, r) ->
+            print_report spec r;
+            report_failure spec r;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:
+         "Chaos stress: sweep seeded schedule perturbations and check every \
+          history for serializability")
+    Term.(
+      const run $ stm_arg
+      $ all_flag "all-stms" "Stress wb, wt and tl2 (overrides --stm)."
+      $ structure_arg
+      $ all_flag "all-structures"
+          "Stress list, rbtree, skiplist and hashset (overrides --structure)."
+      $ seeds_arg $ seed_arg $ threads_arg $ ops_arg $ key_range_arg
+      $ max_retries_arg $ sites_arg $ window_arg $ bug_arg)
+
 let () =
   let doc = "TinySTM (PPoPP'08) reproduction: figures and experiments" in
   let info = Cmd.info "repro" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ fig_cmd; all_cmd; list_cmd; run_cmd; sweep_cmd; tune_cmd ]))
+       (Cmd.group info
+          [ fig_cmd; all_cmd; list_cmd; run_cmd; sweep_cmd; tune_cmd; stress_cmd ]))

@@ -13,6 +13,7 @@ struct
     op_remove : T.tx -> int -> bool;
     op_overwrite : T.tx -> int -> int;
     op_size : T.tx -> int;
+    op_to_list : T.tx -> int list;
   }
 
   let make_structure t = function
@@ -24,6 +25,7 @@ struct
           op_remove = Ll.remove s;
           op_overwrite = Ll.overwrite_upto s;
           op_size = Ll.size s;
+          op_to_list = Ll.to_list s;
         }
     | Workload.Rbtree ->
         let s = Rb.create t in
@@ -33,6 +35,7 @@ struct
           op_remove = Rb.remove s;
           op_overwrite = Rb.overwrite_upto s;
           op_size = Rb.size s;
+          op_to_list = Rb.to_list s;
         }
     | Workload.Skiplist ->
         let s = Sk.create t in
@@ -42,6 +45,7 @@ struct
           op_remove = Sk.remove s;
           op_overwrite = Sk.overwrite_upto s;
           op_size = Sk.size s;
+          op_to_list = Sk.to_list s;
         }
     | Workload.Hashset ->
         let s = Hs.create t in
@@ -51,6 +55,7 @@ struct
           op_remove = Hs.remove s;
           op_overwrite = Hs.overwrite_upto s;
           op_size = Hs.size s;
+          op_to_list = Hs.to_list s;
         }
 
   let populate t ops (spec : Workload.spec) =
@@ -93,6 +98,40 @@ struct
          lookups validate too.  The read-only fast path remains available
          through the API and is exercised by tests and examples. *)
       ignore (T.atomically t (fun tx -> ops.op_contains tx (draw ())))
+
+  (* ------------------------------------------------------------------ *)
+  (* Recorded runs for the chaos stress harness                          *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Random single-operation transactions with invocation/response
+     timestamps taken in virtual time just outside [atomically], recorded
+     per thread for black-box serializability checking. *)
+  let run_recorded t ops ~nthreads ~per_thread ~key_range ~seed history =
+    T.reset_stats t;
+    let module H = Tstm_chaos.History in
+    R.run ~nthreads (fun tid ->
+        let g =
+          Tstm_util.Xrand.create (Tstm_util.Bitops.mix ((seed * 131071) + tid))
+        in
+        for _ = 1 to per_thread do
+          let key = 1 + Tstm_util.Xrand.int g key_range in
+          let op =
+            match Tstm_util.Xrand.int g 4 with
+            | 0 | 1 -> H.Add key
+            | 2 -> H.Remove key
+            | _ -> H.Contains key
+          in
+          let inv = R.now_cycles () in
+          let result =
+            T.atomically t (fun tx ->
+                match op with
+                | H.Add k -> ops.op_add tx k
+                | H.Remove k -> ops.op_remove tx k
+                | H.Contains k -> ops.op_contains tx k)
+          in
+          let resp = R.now_cycles () in
+          H.record history ~tid ~inv ~resp ~op ~result
+        done)
 
   let thread_seed (spec : Workload.spec) tid =
     Tstm_util.Bitops.mix ((spec.Workload.seed * 8191) + tid)

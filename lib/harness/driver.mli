@@ -15,6 +15,7 @@ module Make
     op_remove : T.tx -> int -> bool;
     op_overwrite : T.tx -> int -> int;
     op_size : T.tx -> int;
+    op_to_list : T.tx -> int list;
   }
 
   val make_structure : T.t -> Workload.structure -> ops
@@ -22,6 +23,21 @@ module Make
 
   val populate : T.t -> ops -> Workload.spec -> unit
   (** Deterministically fill the structure to [spec.initial_size]. *)
+
+  val run_recorded :
+    T.t ->
+    ops ->
+    nthreads:int ->
+    per_thread:int ->
+    key_range:int ->
+    seed:int ->
+    Tstm_chaos.History.t ->
+    unit
+  (** Chaos-stress loop: each thread runs [per_thread] random
+      single-operation transactions (add/remove/contains, keys uniform in
+      [1..key_range]) and records each completed operation with its
+      invocation/response timestamps into the history for black-box
+      serializability checking.  Statistics are reset on entry. *)
 
   val run : T.t -> ops -> Workload.spec -> Workload.result
   (** Reset statistics, run [spec.nthreads] workers for [spec.duration]

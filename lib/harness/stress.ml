@@ -1,0 +1,238 @@
+(* Chaos stress harness: seed sweeps, serializability checking, shrinking.
+
+   One [run_one] executes a fully deterministic chaos run: build a fresh STM
+   instance, run [nthreads] threads of random single-operation transactions
+   under an active chaos plan, read the final contents, and check the
+   recorded history against sequential set semantics.  Everything is keyed
+   by the spec, so a failing spec *is* the repro — [repro_command] renders
+   it as a `repro stress` invocation. *)
+
+module R = Tstm_runtime.Runtime_sim
+module Chaos = Tstm_chaos.Chaos
+module History = Tstm_chaos.History
+module Config = Tinystm.Config
+
+type spec = {
+  stm : Scenario.stm_kind;
+  structure : Workload.structure;
+  nthreads : int;
+  per_thread : int;
+  key_range : int;
+  seed : int;
+  max_retries : int;
+  chaos : Chaos.config;
+  site_limit : int option;
+  bug : Chaos.bug option;
+  window : int;
+}
+
+let default =
+  {
+    stm = Scenario.Tinystm_wb;
+    structure = Workload.List;
+    nthreads = 4;
+    per_thread = 24;
+    key_range = 16;
+    seed = 0;
+    max_retries = 0;
+    chaos = Chaos.default;
+    site_limit = None;
+    bug = None;
+    window = 48;
+  }
+
+type report = {
+  violation : string option;
+  injected : int;
+  decisions : int;
+  events : int;
+  commits : int;
+  aborts : int;
+  escalations : int;
+}
+
+let stm_code = function
+  | Scenario.Tinystm_wb -> "wb"
+  | Scenario.Tinystm_wt -> "wt"
+  | Scenario.Tl2 -> "tl2"
+
+let repro_command spec =
+  let b = Buffer.create 96 in
+  Buffer.add_string b
+    (Printf.sprintf "repro stress --stm %s --structure %s --seed %d"
+       (stm_code spec.stm)
+       (Workload.structure_to_string spec.structure)
+       spec.seed);
+  if spec.nthreads <> default.nthreads then
+    Buffer.add_string b (Printf.sprintf " --threads %d" spec.nthreads);
+  if spec.per_thread <> default.per_thread then
+    Buffer.add_string b (Printf.sprintf " --ops %d" spec.per_thread);
+  if spec.key_range <> default.key_range then
+    Buffer.add_string b (Printf.sprintf " --key-range %d" spec.key_range);
+  if spec.max_retries <> default.max_retries then
+    Buffer.add_string b (Printf.sprintf " --max-retries %d" spec.max_retries);
+  (match spec.site_limit with
+  | Some l -> Buffer.add_string b (Printf.sprintf " --sites %d" l)
+  | None -> ());
+  (match spec.bug with
+  | Some bug -> Buffer.add_string b (" --bug " ^ Chaos.bug_name bug)
+  | None -> ());
+  Buffer.contents b
+
+(* Sized like [Workload.memory_words_for]: at most [key_range] live elements
+   plus transient overshoot of concurrent inserts. *)
+let memory_words spec =
+  ((spec.key_range + (8 * spec.nthreads) + 64) * 24) + 8192
+
+module Exec (T : Tstm_tm.Tm_intf.TM) = struct
+  module D = Driver.Make (R) (T)
+
+  let go (t : T.t) spec history =
+    let ops = D.make_structure t spec.structure in
+    D.run_recorded t ops ~nthreads:spec.nthreads ~per_thread:spec.per_thread
+      ~key_range:spec.key_range ~seed:spec.seed history;
+    let final = T.atomically t (fun tx -> ops.D.op_to_list tx) in
+    (final, T.stats t)
+end
+
+module Exec_ts = Exec (Scenario.Ts)
+module Exec_tl = Exec (Scenario.Tl)
+
+let run_one spec =
+  let words = memory_words spec in
+  let history = History.create ~nthreads:spec.nthreads in
+  Chaos.with_bug spec.bug (fun () ->
+      let final, stats, injected, decisions =
+        Chaos.with_plan ~config:spec.chaos ?limit:spec.site_limit
+          ~seed:spec.seed (fun () ->
+            let final, stats =
+              match spec.stm with
+              | Scenario.Tl2 ->
+                  let t =
+                    Scenario.Tl.create ~max_retries:spec.max_retries
+                      ~memory_words:words ()
+                  in
+                  Exec_tl.go t spec history
+              | Scenario.Tinystm_wb | Scenario.Tinystm_wt ->
+                  let strategy =
+                    if spec.stm = Scenario.Tinystm_wb then Config.Write_back
+                    else Config.Write_through
+                  in
+                  let config = Config.make ~strategy () in
+                  let t =
+                    Scenario.Ts.create ~config ~max_retries:spec.max_retries
+                      ~memory_words:words ()
+                  in
+                  Exec_ts.go t spec history
+            in
+            (final, stats, Chaos.injected (), Chaos.decisions ()))
+      in
+      let events = History.events history in
+      let violation =
+        match History.check ~window:spec.window ~final events with
+        | Ok () -> None
+        | Error msg -> Some msg
+      in
+      {
+        violation;
+        injected;
+        decisions;
+        events = List.length events;
+        commits = stats.Tstm_tm.Tm_stats.commits;
+        aborts = Tstm_tm.Tm_stats.aborts stats;
+        escalations = stats.Tstm_tm.Tm_stats.escalations;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type shrunk = { limit : int; report : report }
+
+(* Reduce a failing run to a small injection-site budget that still fails.
+   Capping at exactly [injected] fired sites reproduces the original run
+   (sites past the cap never fired anyway); below that, bisection — the
+   usual shrinker heuristic of assuming monotonicity, re-verified at the
+   returned limit by construction (we only ever return limits whose run we
+   executed and saw fail). *)
+let shrink spec (base : report) =
+  match base.violation with
+  | None -> None
+  | Some _ -> (
+      let check l = run_one { spec with site_limit = Some l } in
+      let r0 = check 0 in
+      if r0.violation <> None then Some { limit = 0; report = r0 }
+      else
+        let rhi = check base.injected in
+        if rhi.violation = None then None
+        else begin
+          let lo = ref 0 and hi = ref base.injected in
+          let rep = ref rhi in
+          while !hi - !lo > 1 do
+            let mid = !lo + ((!hi - !lo) / 2) in
+            let rm = check mid in
+            if rm.violation <> None then begin
+              hi := mid;
+              rep := rm
+            end
+            else lo := mid
+          done;
+          Some { limit = !hi; report = !rep }
+        end)
+
+(* ------------------------------------------------------------------ *)
+(* Seed sweep                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type sweep_result = {
+  runs : int;
+  total_events : int;
+  total_injected : int;
+  total_escalations : int;
+  total_commits : int;
+  total_aborts : int;
+  first_failure : (spec * report) option;
+}
+
+(* Sweep seeds (outer) x stm x structure (inner), stopping at the first
+   serializability violation. *)
+let sweep ?(on_run = fun _ _ -> ()) ~seeds ~stms ~structures base =
+  let runs = ref 0
+  and events = ref 0
+  and injected = ref 0
+  and escalations = ref 0
+  and commits = ref 0
+  and aborts = ref 0 in
+  let failure = ref None in
+  (try
+     for seed = 0 to seeds - 1 do
+       List.iter
+         (fun stm ->
+           List.iter
+             (fun structure ->
+               let spec = { base with stm; structure; seed } in
+               let r = run_one spec in
+               incr runs;
+               events := !events + r.events;
+               injected := !injected + r.injected;
+               escalations := !escalations + r.escalations;
+               commits := !commits + r.commits;
+               aborts := !aborts + r.aborts;
+               on_run spec r;
+               if r.violation <> None then begin
+                 failure := Some (spec, r);
+                 raise Exit
+               end)
+             structures)
+         stms
+     done
+   with Exit -> ());
+  {
+    runs = !runs;
+    total_events = !events;
+    total_injected = !injected;
+    total_escalations = !escalations;
+    total_commits = !commits;
+    total_aborts = !aborts;
+    first_failure = !failure;
+  }

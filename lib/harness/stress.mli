@@ -1,0 +1,74 @@
+(** Chaos stress harness: deterministic seed sweeps with black-box
+    serializability checking and failing-schedule shrinking.
+
+    Each run is fully determined by its {!spec}: same spec, bit-identical
+    schedule, history and verdict.  A failure therefore travels as a spec;
+    {!repro_command} renders it as the `repro stress` invocation that
+    replays it. *)
+
+type spec = {
+  stm : Scenario.stm_kind;
+  structure : Workload.structure;
+  nthreads : int;
+  per_thread : int;  (** operations per thread *)
+  key_range : int;
+  seed : int;  (** chaos plan seed, also salts the per-thread op streams *)
+  max_retries : int;  (** 0 = no irrevocable escalation *)
+  chaos : Tstm_chaos.Chaos.config;
+  site_limit : int option;  (** cap on fired injection sites (shrinking) *)
+  bug : Tstm_chaos.Chaos.bug option;  (** deliberate protocol bug to arm *)
+  window : int;  (** checker window *)
+}
+
+val default : spec
+
+type report = {
+  violation : string option;  (** checker diagnostic; [None] = serializable *)
+  injected : int;  (** chaos injections fired *)
+  decisions : int;
+  events : int;  (** operations recorded and checked *)
+  commits : int;
+  aborts : int;
+  escalations : int;
+}
+
+val stm_code : Scenario.stm_kind -> string
+(** CLI code: ["wb"], ["wt"] or ["tl2"]. *)
+
+val repro_command : spec -> string
+(** The `repro stress ...` command line replaying exactly this spec. *)
+
+val memory_words : spec -> int
+
+val run_one : spec -> report
+(** One deterministic run: fresh instance, chaos plan [seed], random
+    single-op transactions, serializability check of the recorded history
+    against the structure's final contents. *)
+
+type shrunk = { limit : int; report : report }
+
+val shrink : spec -> report -> shrunk option
+(** Given a failing report for [spec], find a small injection-site limit
+    that still fails (bisection; the returned limit was re-executed and
+    seen to fail).  [None] if the report did not fail or shrinking could
+    not reproduce the failure under a site cap. *)
+
+type sweep_result = {
+  runs : int;
+  total_events : int;
+  total_injected : int;
+  total_escalations : int;
+  total_commits : int;
+  total_aborts : int;
+  first_failure : (spec * report) option;
+}
+
+val sweep :
+  ?on_run:(spec -> report -> unit) ->
+  seeds:int ->
+  stms:Scenario.stm_kind list ->
+  structures:Workload.structure list ->
+  spec ->
+  sweep_result
+(** Run seeds [0..seeds-1] (outer loop) across the given STMs and
+    structures (inner loops), stopping at the first violation. *)

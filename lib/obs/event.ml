@@ -2,6 +2,7 @@ type t =
   | Tx_begin
   | Tx_commit of { read_only : bool; reads : int; writes : int; retries : int }
   | Tx_abort of { reason : string; retries : int }
+  | Tx_escalate of { retries : int }
   | Lock_acquire of { lock : int }
   | Lock_release of { lock : int }
   | Clock_extend
@@ -18,6 +19,7 @@ let name = function
   | Tx_begin -> "tx_begin"
   | Tx_commit _ -> "tx_commit"
   | Tx_abort _ -> "tx_abort"
+  | Tx_escalate _ -> "tx_escalate"
   | Lock_acquire _ -> "lock_acquire"
   | Lock_release _ -> "lock_release"
   | Clock_extend -> "clock_extend"
@@ -41,6 +43,8 @@ let args = function
         ("reason", reason);
         ("retries", string_of_int retries);
       ]
+  | Tx_escalate { retries } ->
+      [ ("outcome", "escalate"); ("retries", string_of_int retries) ]
   | Lock_acquire { lock } | Lock_release { lock } ->
       [ ("lock", string_of_int lock) ]
   | Tuner_move { label } -> [ ("config", label) ]

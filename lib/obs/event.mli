@@ -11,6 +11,9 @@ type t =
   | Tx_begin  (** one per attempt: a retry emits a fresh [Tx_begin] *)
   | Tx_commit of { read_only : bool; reads : int; writes : int; retries : int }
   | Tx_abort of { reason : string; retries : int }
+  | Tx_escalate of { retries : int }
+      (** retry budget exhausted: the transaction re-runs on the
+          serial-irrevocable slow path *)
   | Lock_acquire of { lock : int }  (** lock-array index *)
   | Lock_release of { lock : int }
   | Clock_extend  (** successful snapshot extension *)

@@ -114,6 +114,14 @@ let handler_for (s : state) (fb : fiber) =
         | Charge c ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
+                (* Yielding charges are the scheduler's preemption points;
+                   an active chaos plan may stretch any of them, reordering
+                   virtual-time ties.  Same seed, same stretches. *)
+                let c =
+                  if Tstm_chaos.Chaos.enabled () then
+                    c + Tstm_chaos.Chaos.jitter ()
+                  else c
+                in
                 fb.vtime <- fb.vtime + c;
                 Heap.push s.heap fb.vtime (Resume (fb, k)))
         | _ -> None);

@@ -19,6 +19,16 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
   let obs_on () = Obs.Sink.enabled ()
   let emit ev = Obs.Sink.emit ~ts:(R.now_cycles ()) ~cpu:(R.tid ()) ev
 
+  (* Chaos: like observability, every consultation is behind one boolean
+     load; an inactive plan leaves the schedule untouched. *)
+  module Chaos = Tstm_chaos.Chaos
+
+  let chaos_on () = Chaos.enabled ()
+
+  let chaos_point p =
+    let n = Chaos.preempt p in
+    if n > 0 then R.charge n
+
   (* Fixed bookkeeping costs (cycles) charged in the simulated runtime on top
      of the shared-memory access costs; no-ops on real hardware. *)
   let c_tx_begin = 20
@@ -32,6 +42,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     rng : Tstm_util.Xrand.t;
     mutable in_tx : bool;
     mutable read_only : bool;
+    mutable irrevocable : bool;
+      (* running serially inside the quiescence fence: direct memory access,
+         no locks, cannot abort *)
     mutable rv : int;  (* upper bound of the snapshot's validity range *)
     (* Read set, partitioned by hierarchy slot; each buffer stores
        (lock index, version) pairs flattened. *)
@@ -84,6 +97,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     max_threads : int;
     max_clock : int;
     conflict_wait : int;  (* bounded re-check attempts on a foreign lock *)
+    max_retries : int;  (* consecutive aborts before irrevocable escalation *)
   }
 
   type tx = desc
@@ -98,7 +112,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   let create ?(config = Config.default) ?(max_threads = 64)
       ?(max_clock = Lockenc.max_version - 64) ?(conflict_wait = 0)
-      ~memory_words () =
+      ?(max_retries = 0) ~memory_words () =
     Config.validate config;
     if max_threads < 1 || max_threads > Lockenc.max_tid + 1 then
       invalid_arg "Tinystm.create: max_threads out of range";
@@ -106,6 +120,8 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       invalid_arg "Tinystm.create: max_clock out of range";
     if conflict_wait < 0 then
       invalid_arg "Tinystm.create: conflict_wait < 0";
+    if max_retries < 0 then
+      invalid_arg "Tinystm.create: max_retries < 0";
     let t =
       {
         mem = V.create ~words:memory_words;
@@ -119,6 +135,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         max_threads;
         max_clock;
         conflict_wait;
+        max_retries;
       }
     in
     R.sarray_label t.locks "locks";
@@ -161,6 +178,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         rng = Tstm_util.Xrand.create (0x7153 + tid);
         in_tx = false;
         read_only = false;
+        irrevocable = false;
         rv = 0;
         r_set = [||];
         hmask_read = Hmask.create 1;
@@ -268,8 +286,15 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         R.yield ()
       done
     done;
-    f ();
-    R.set t.ctl mode_slot 0
+    (* Release the fence even when [f] raises: an escalated transaction runs
+       arbitrary user code here. *)
+    match f () with
+    | v ->
+        R.set t.ctl mode_slot 0;
+        v
+    | exception e ->
+        R.set t.ctl mode_slot 0;
+        raise e
 
   let do_rollover t =
     fence_and t (fun () ->
@@ -427,8 +452,17 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     !ok
 
   let extend t d =
+    if chaos_on () then chaos_point Chaos.Clock_read;
     let now = R.get t.ctl clock_slot in
-    if validate t d then begin
+    if Chaos.bug_active Chaos.Skip_extension then begin
+      (* Deliberately broken protocol (chaos bug injection): accept the new
+         snapshot bound without validating the read set.  Exists solely so
+         the stress checker can demonstrate it catches the resulting
+         non-serializable histories. *)
+      d.rv <- now;
+      true
+    end
+    else if validate t d then begin
       d.rv <- now;
       d.stats.Stats.extensions <- d.stats.Stats.extensions + 1;
       if obs_on () then emit Obs.Event.Clock_extend;
@@ -468,6 +502,13 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   let rec read_word t d addr =
     R.charge_local c_op;
+    if d.irrevocable then begin
+      (* Serial slow path inside the fence: no concurrent transaction exists,
+         memory is the truth. *)
+      d.stats.Stats.reads <- d.stats.Stats.reads + 1;
+      R.get (mem_words t) addr
+    end
+    else begin
     (* The partition counter must be snapshotted *before* first sampling the
        lock: writers increment their counter right after a successful CAS,
        so an increment absorbed into a snapshot taken here means the
@@ -539,11 +580,17 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         end
       end
     end
+    end
 
   let rec write_word t d addr v =
     R.charge_local c_op;
     if d.read_only then
       invalid_arg "Tinystm.write: transaction is read-only";
+    if d.irrevocable then begin
+      d.stats.Stats.writes <- d.stats.Stats.writes + 1;
+      R.set (mem_words t) addr v
+    end
+    else begin
     let li = Config.lock_index t.cfg addr in
     let l = R.get t.locks li in
     if Lockenc.is_locked l then begin
@@ -588,10 +635,12 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
             G.push d.w_addr addr;
             G.push d.w_val v;
             G.push d.w_next 0;
+            if chaos_on () then chaos_point Chaos.Lock_cas;
             if
               R.cas t.locks li l
                 (Lockenc.locked ~tid:d.tid ~payload:(G.length d.w_addr))
             then begin
+              if chaos_on () then chaos_point Chaos.Lock_cas;
               if obs_on () then emit (Obs.Event.Lock_acquire { lock = li });
               hier_note_acquired t d addr;
               G.push d.l_idx li;
@@ -608,7 +657,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
               write_word t d addr v
             end
         | Config.Write_through ->
+            if chaos_on () then chaos_point Chaos.Lock_cas;
             if R.cas t.locks li l (Lockenc.locked ~tid:d.tid ~payload:0) then begin
+              if chaos_on () then chaos_point Chaos.Lock_cas;
               if obs_on () then emit (Obs.Event.Lock_acquire { lock = li });
               hier_note_acquired t d addr;
               G.push d.l_idx li;
@@ -620,6 +671,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
             end
             else write_word t d addr v
       end
+    end
     end
 
   (* ------------------------------------------------------------------ *)
@@ -636,10 +688,14 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
      writing back the current values) so no concurrent reader can observe
      the block being recycled without a conflict. *)
   let free_words t d addr n =
-    for w = addr to addr + n - 1 do
-      let v = read_word t d w in
-      write_word t d w v
-    done;
+    if not d.irrevocable then
+      (* Lock every covered word so no concurrent reader can observe the
+         block being recycled without a conflict; inside the fence there is
+         no concurrency and the free is just deferred to the commit. *)
+      for w = addr to addr + n - 1 do
+        let v = read_word t d w in
+        write_word t d w v
+      done;
     G.push d.f_addr addr;
     G.push d.f_size n
 
@@ -747,9 +803,17 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
   (* Transaction driver                                                  *)
   (* ------------------------------------------------------------------ *)
 
+  (* Capped exponential back-off with deterministic per-transaction jitter:
+     wait uniformly in [base/2, base] with base doubling per consecutive
+     abort up to [backoff_cap].  The lower bound keeps a retry from
+     re-colliding immediately; the cap keeps the worst-case wait bounded so
+     the retry watchdog, not the back-off, decides when to escalate. *)
+  let backoff_cap = 4096
+
   let backoff d attempts =
-    let limit = 16 lsl min attempts 8 in
-    let n = Tstm_util.Xrand.int d.rng limit in
+    let base = min backoff_cap (16 lsl min attempts 16) in
+    let n = (base / 2) + Tstm_util.Xrand.int d.rng ((base / 2) + 1) in
+    d.stats.Stats.backoff_cycles <- d.stats.Stats.backoff_cycles + n;
     R.charge n;
     if not R.is_simulated then
       for _ = 1 to n / 8 do
@@ -760,6 +824,8 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     let d = desc_for t in
     if d.in_tx then invalid_arg "Tinystm.atomically: nested transaction";
     let rec attempt tries =
+      if t.max_retries > 0 && tries >= t.max_retries then escalate tries
+      else begin
       enter_fence t d;
       if
         d.h_dim <> t.cfg.Config.hierarchy
@@ -768,6 +834,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       R.charge_local c_tx_begin;
       d.in_tx <- true;
       d.read_only <- read_only;
+      if chaos_on () then chaos_point Chaos.Clock_read;
       d.rv <- R.get t.ctl clock_slot;
       if d.rv >= t.max_clock - 1 then begin
         d.in_tx <- false;
@@ -812,6 +879,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
             end;
             rollback ~record:reason t d;
             leave_fence t d;
+            if chaos_on () then chaos_point Chaos.Abort;
             if reason = Stats.Rollover then do_rollover t
             else backoff d tries;
             attempt (tries + 1)
@@ -821,6 +889,79 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
             leave_fence t d;
             raise e
       end
+      end
+    (* Retry budget exhausted: re-run the transaction serially and
+       irrevocably inside the quiescence fence.  No transaction is in
+       flight once the fence is held, so the body reads and writes memory
+       directly, acquires no locks, and cannot abort â pathological
+       workloads degrade to serial execution instead of livelocking. *)
+    and escalate tries =
+      d.stats.Stats.escalations <- d.stats.Stats.escalations + 1;
+      if obs_on () then emit (Obs.Event.Tx_escalate { retries = tries });
+      fence_and t (fun () ->
+          R.charge_local c_tx_begin;
+          d.in_tx <- true;
+          d.read_only <- read_only;
+          d.irrevocable <- true;
+          if obs_on () then begin
+            d.obs_start <- R.now_cycles ();
+            d.obs_reads0 <- d.stats.Stats.reads;
+            d.obs_writes0 <- d.stats.Stats.writes;
+            emit Obs.Event.Tx_begin
+          end;
+          match f d with
+          | v ->
+              R.charge_local c_tx_end;
+              (* Serialization stamp.  A clock wrap is handled inline: we
+                 already own a quiescent instance, which is all
+                 [do_rollover] exists to establish. *)
+              let wv =
+                let wv = R.fetch_add t.ctl clock_slot 1 + 1 in
+                if wv < t.max_clock then wv
+                else begin
+                  R.set t.ctl clock_slot 0;
+                  for i = 0 to R.sarray_length t.locks - 1 do
+                    R.set t.locks i 0
+                  done;
+                  for i = 0 to R.sarray_length t.hier - 1 do
+                    R.set t.hier i 0
+                  done;
+                  for i = 0 to R.sarray_length t.hier2 - 1 do
+                    R.set t.hier2 i 0
+                  done;
+                  ignore (R.fetch_add t.ctl rollover_slot 1);
+                  if obs_on () then emit Obs.Event.Clock_rollover;
+                  R.fetch_add t.ctl clock_slot 1 + 1
+                end
+              in
+              let nf = G.length d.f_addr in
+              for k = 0 to nf - 1 do
+                V.free t.mem (G.get d.f_addr k) (G.get d.f_size k)
+              done;
+              d.last_stamp <- wv;
+              d.stats.Stats.commits <- d.stats.Stats.commits + 1;
+              if read_only then
+                d.stats.Stats.commits_read_only <-
+                  d.stats.Stats.commits_read_only + 1;
+              if obs_on () then begin
+                let lat = R.now_cycles () - d.obs_start in
+                let reads = d.stats.Stats.reads - d.obs_reads0 in
+                let writes = d.stats.Stats.writes - d.obs_writes0 in
+                emit
+                  (Obs.Event.Tx_commit
+                     { read_only; reads; writes; retries = tries });
+                Obs.Sink.note_commit ~lat ~retries:tries ~reads ~writes
+              end;
+              d.irrevocable <- false;
+              cleanup d;
+              (v, wv)
+          | exception e ->
+              (* Irrevocable means exactly that: direct writes stay.  The
+                 caller chose to run side-effecting code to completion; an
+                 exception still releases the fence and propagates. *)
+              d.irrevocable <- false;
+              cleanup d;
+              raise e)
     in
     attempt 0
 

@@ -30,6 +30,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) : sig
     ?max_threads:int ->
     ?max_clock:int ->
     ?conflict_wait:int ->
+    ?max_retries:int ->
     memory_words:int ->
     unit ->
     t
@@ -39,7 +40,12 @@ module Make (R : Tstm_runtime.Runtime_intf.S) : sig
       roll-over.  [conflict_wait] (default 0) is the number of bounded
       re-check attempts on encountering a foreign lock before aborting —
       paper §3.1 offers "wait for some time or abort immediately" and picks
-      immediate abort, which is our default too. *)
+      immediate abort, which is our default too.  [max_retries] (default 0 =
+      never) is the retry budget: a transaction aborted that many times in a
+      row escalates to a serial-irrevocable execution inside the quiescence
+      fence — it runs alone, cannot abort, and counts as an escalation in
+      {!Tstm_tm.Tm_stats}, so pathological workloads degrade to serial
+      execution instead of livelocking. *)
 
   val memory : t -> V.t
   (** The underlying word memory (for population and inspection). *)

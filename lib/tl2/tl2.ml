@@ -13,6 +13,15 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
   let obs_on () = Obs.Sink.enabled ()
   let emit ev = Obs.Sink.emit ~ts:(R.now_cycles ()) ~cpu:(R.tid ()) ev
 
+  (* Chaos schedule perturbation (same one-boolean-load discipline). *)
+  module Chaos = Tstm_chaos.Chaos
+
+  let chaos_on () = Chaos.enabled ()
+
+  let chaos_point p =
+    let n = Chaos.preempt p in
+    if n > 0 then R.charge n
+
   (* TL2 lock words: unlocked = [version | 0]; locked = [tid | 1].  No
      incarnation numbers (write-back never dirties memory before commit) and
      no write-set payload (there is no per-lock chain — that is TinySTM's
@@ -34,6 +43,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     rng : Tstm_util.Xrand.t;
     mutable in_tx : bool;
     mutable read_only : bool;
+    mutable irrevocable : bool;
+      (* running serially inside the quiescence fence: direct memory access,
+         no locks, cannot abort *)
     mutable rv : int;
     (* Read set: (lock index, observed version) pairs, flattened. *)
     r_set : G.t;
@@ -61,23 +73,28 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     n_locks : int;
     shifts : int;
     locks : R.sarray;
-    ctl : R.sarray;
+    ctl : R.sarray;  (* fence mode / clock, padded apart *)
+    flags : R.sarray;  (* per-thread in-transaction flags, padded apart *)
     descs : desc option array;
     max_threads : int;
+    max_retries : int;  (* consecutive aborts before irrevocable escalation *)
   }
 
   type tx = desc
 
+  let mode_slot = 0
   let clock_slot = 8
   let ctl_len = 16
+  let flag_slot tid = (tid + 1) * 8
 
   let create ?(n_locks = 1 lsl 16) ?(shifts = 0) ?(max_threads = 64)
-      ~memory_words () =
+      ?(max_retries = 0) ~memory_words () =
     if not (Tstm_util.Bitops.is_pow2 n_locks) then
       invalid_arg "Tl2.create: n_locks must be a power of two";
     if shifts < 0 || shifts > 16 then
       invalid_arg "Tl2.create: shifts out of range";
     if max_threads < 1 then invalid_arg "Tl2.create: max_threads < 1";
+    if max_retries < 0 then invalid_arg "Tl2.create: max_retries < 0";
     let t =
       {
         mem = V.create ~words:memory_words;
@@ -85,12 +102,15 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         shifts;
         locks = R.sarray_make n_locks 0;
         ctl = R.sarray_make ctl_len 0;
+        flags = R.sarray_make (flag_slot max_threads + 8) 0;
         descs = Array.make max_threads None;
         max_threads;
+        max_retries;
       }
     in
     R.sarray_label t.locks "locks";
     R.sarray_label t.ctl "ctl";
+    R.sarray_label t.flags "flags";
     R.sarray_label (V.words t.mem) "mem";
     t
 
@@ -106,6 +126,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       rng = Tstm_util.Xrand.create (0x2b1 + tid);
       in_tx = false;
       read_only = false;
+      irrevocable = false;
       rv = 0;
       r_set = G.create 64;
       w_addr = G.create 32;
@@ -148,6 +169,53 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
   let abort reason = raise (Abort_exn reason)
 
   (* ------------------------------------------------------------------ *)
+  (* Quiescence fence (for irrevocable escalation)                       *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Same Dekker-style protocol as TinySTM's roll-over fence: threads raise
+     a private padded flag before transacting and re-check the mode word, so
+     an initiator that saw every flag down owns a quiescent instance. *)
+
+  let rec enter_fence t d =
+    if R.get t.ctl mode_slot <> 0 then begin
+      R.yield ();
+      enter_fence t d
+    end
+    else begin
+      R.set t.flags (flag_slot d.tid) 1;
+      if R.get t.ctl mode_slot <> 0 then begin
+        R.set t.flags (flag_slot d.tid) 0;
+        R.yield ();
+        enter_fence t d
+      end
+    end
+
+  let leave_fence t d = R.set t.flags (flag_slot d.tid) 0
+
+  let fence_and t f =
+    let rec acquire () =
+      if not (R.cas t.ctl mode_slot 0 1) then begin
+        R.yield ();
+        acquire ()
+      end
+    in
+    acquire ();
+    for tid = 0 to t.max_threads - 1 do
+      while R.get t.flags (flag_slot tid) <> 0 do
+        R.yield ()
+      done
+    done;
+    (* Release the fence even when [f] raises: an escalated transaction runs
+       arbitrary user code here. *)
+    match f () with
+    | v ->
+        R.set t.ctl mode_slot 0;
+        v
+    | exception e ->
+        R.set t.ctl mode_slot 0;
+        raise e
+
+  (* ------------------------------------------------------------------ *)
   (* Read and write barriers                                             *)
   (* ------------------------------------------------------------------ *)
 
@@ -175,6 +243,12 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   let rec read_word t d addr =
     R.charge_local c_op;
+    if d.irrevocable then begin
+      (* Serial slow path inside the fence: memory is the truth. *)
+      d.stats.Stats.reads <- d.stats.Stats.reads + 1;
+      R.get (V.words t.mem) addr
+    end
+    else
     match if d.read_only then None else write_set_find d addr with
     | Some k ->
         d.stats.Stats.reads <- d.stats.Stats.reads + 1;
@@ -203,9 +277,14 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
           end
         end
 
-  let write_word _t d addr v =
+  let write_word t d addr v =
     R.charge_local c_op;
     if d.read_only then invalid_arg "Tl2.write: transaction is read-only";
+    if d.irrevocable then begin
+      d.stats.Stats.writes <- d.stats.Stats.writes + 1;
+      R.set (V.words t.mem) addr v
+    end
+    else begin
     (match write_set_find d addr with
     | Some k -> G.set d.w_val k v
     | None ->
@@ -213,6 +292,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         G.push d.w_val v;
         Bloom.add d.bloom addr);
     d.stats.Stats.writes <- d.stats.Stats.writes + 1
+    end
 
   (* ------------------------------------------------------------------ *)
   (* Memory management                                                   *)
@@ -224,12 +304,15 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     G.push d.a_size n;
     addr
 
-  (* A free is an update: rewrite the block so commit acquires its locks. *)
+  (* A free is an update: rewrite the block so commit acquires its locks.
+     Inside the fence there is no concurrency and the free is just deferred
+     to the end of the escalated run. *)
   let free_words t d addr n =
-    for w = addr to addr + n - 1 do
-      let v = read_word t d w in
-      write_word t d w v
-    done;
+    if not d.irrevocable then
+      for w = addr to addr + n - 1 do
+        let v = read_word t d w in
+        write_word t d w v
+      done;
     G.push d.f_addr addr;
     G.push d.f_size n
 
@@ -276,14 +359,18 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
           release_acquired t d;
           abort Stats.Write_conflict
         end
-        else if not (R.cas t.locks li l (locked_by d.tid)) then begin
-          release_acquired t d;
-          abort Stats.Write_conflict
-        end
         else begin
+          if chaos_on () then chaos_point Chaos.Lock_cas;
+          if not (R.cas t.locks li l (locked_by d.tid)) then begin
+            release_acquired t d;
+            abort Stats.Write_conflict
+          end
+          else begin
+          if chaos_on () then chaos_point Chaos.Lock_cas;
           if obs_on () then emit (Obs.Event.Lock_acquire { lock = li });
           G.push d.l_idx li;
           G.push d.l_old l
+          end
         end
       end
     done
@@ -320,8 +407,14 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     end
     else begin
       acquire_write_locks t d;
+      if chaos_on () then chaos_point Chaos.Clock_inc;
       let wv = R.fetch_add t.ctl clock_slot 1 + 1 in
-      if wv > d.rv + 1 && not (validate t d) then begin
+      if chaos_on () then chaos_point Chaos.Commit;
+      if
+        wv > d.rv + 1
+        && (not (Chaos.bug_active Chaos.Skip_validation))
+        && not (validate t d)
+      then begin
         release_acquired t d;
         abort Stats.Validation_failed
       end;
@@ -358,9 +451,15 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
   (* Transaction driver                                                  *)
   (* ------------------------------------------------------------------ *)
 
+  (* Capped exponential back-off with deterministic per-transaction jitter
+     (same scheme as TinySTM): wait uniformly in [base/2, base], base
+     doubling per consecutive abort up to a cap. *)
+  let backoff_cap = 4096
+
   let backoff d attempts =
-    let limit = 16 lsl min attempts 8 in
-    let n = Tstm_util.Xrand.int d.rng limit in
+    let base = min backoff_cap (16 lsl min attempts 16) in
+    let n = (base / 2) + Tstm_util.Xrand.int d.rng ((base / 2) + 1) in
+    d.stats.Stats.backoff_cycles <- d.stats.Stats.backoff_cycles + n;
     R.charge n;
     if not R.is_simulated then
       for _ = 1 to n / 8 do
@@ -371,9 +470,13 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     let d = desc_for t in
     if d.in_tx then invalid_arg "Tl2.atomically: nested transaction";
     let rec attempt tries =
+      if t.max_retries > 0 && tries >= t.max_retries then escalate tries
+      else begin
+      enter_fence t d;
       R.charge_local c_tx_begin;
       d.in_tx <- true;
       d.read_only <- read_only;
+      if chaos_on () then chaos_point Chaos.Clock_read;
       d.rv <- R.get t.ctl clock_slot;
       if obs_on () then begin
         d.obs_start <- R.now_cycles ();
@@ -395,6 +498,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
               (Obs.Event.Tx_commit { read_only; reads; writes; retries = tries });
             Obs.Sink.note_commit ~lat ~retries:tries ~reads ~writes
           end;
+          leave_fence t d;
           v
       | exception Abort_exn reason ->
           if obs_on () then begin
@@ -408,11 +512,63 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
             Obs.Sink.note_abort ~lat
           end;
           rollback ~record:reason t d;
+          leave_fence t d;
+          if chaos_on () then chaos_point Chaos.Abort;
           backoff d tries;
           attempt (tries + 1)
       | exception e ->
           rollback t d;
+          leave_fence t d;
           raise e
+      end
+    (* Retry budget exhausted: re-run serially and irrevocably inside the
+       quiescence fence (no transaction in flight, direct memory access, no
+       locks, cannot abort). *)
+    and escalate tries =
+      d.stats.Stats.escalations <- d.stats.Stats.escalations + 1;
+      if obs_on () then emit (Obs.Event.Tx_escalate { retries = tries });
+      fence_and t (fun () ->
+          R.charge_local c_tx_begin;
+          d.in_tx <- true;
+          d.read_only <- read_only;
+          d.irrevocable <- true;
+          if obs_on () then begin
+            d.obs_start <- R.now_cycles ();
+            d.obs_reads0 <- d.stats.Stats.reads;
+            d.obs_writes0 <- d.stats.Stats.writes;
+            emit Obs.Event.Tx_begin
+          end;
+          match f d with
+          | v ->
+              R.charge_local c_tx_end;
+              (* Keep the clock moving so the serial commit has a unique
+                 serialization point with respect to the version order. *)
+              ignore (R.fetch_add t.ctl clock_slot 1);
+              for k = 0 to G.length d.f_addr - 1 do
+                V.free t.mem (G.get d.f_addr k) (G.get d.f_size k)
+              done;
+              d.stats.Stats.commits <- d.stats.Stats.commits + 1;
+              if read_only then
+                d.stats.Stats.commits_read_only <-
+                  d.stats.Stats.commits_read_only + 1;
+              if obs_on () then begin
+                let lat = R.now_cycles () - d.obs_start in
+                let reads = d.stats.Stats.reads - d.obs_reads0 in
+                let writes = d.stats.Stats.writes - d.obs_writes0 in
+                emit
+                  (Obs.Event.Tx_commit
+                     { read_only; reads; writes; retries = tries });
+                Obs.Sink.note_commit ~lat ~retries:tries ~reads ~writes
+              end;
+              d.irrevocable <- false;
+              cleanup d;
+              v
+          | exception e ->
+              (* Irrevocable: direct writes stay; release the fence and
+                 propagate. *)
+              d.irrevocable <- false;
+              cleanup d;
+              raise e)
     in
     attempt 0
 

@@ -25,12 +25,16 @@ module Make (R : Tstm_runtime.Runtime_intf.S) : sig
     ?n_locks:int ->
     ?shifts:int ->
     ?max_threads:int ->
+    ?max_retries:int ->
     memory_words:int ->
     unit ->
     t
   (** [n_locks] must be a power of two (default 2{^16}, matching the TinySTM
       default for fair comparisons); [shifts] is the address pre-shift of the
-      per-stripe lock mapping (default 0). *)
+      per-stripe lock mapping (default 0).  [max_retries] (default 0 = never)
+      is the retry budget after which a transaction escalates to a
+      serial-irrevocable execution inside a quiescence fence, exactly as in
+      {!Tinystm.Make.create}. *)
 
   val memory : t -> V.t
   val clock_value : t -> int

@@ -26,6 +26,8 @@ type t = {
   mutable validations : int;
   mutable val_locks_processed : int;
   mutable val_locks_skipped : int;
+  mutable escalations : int;
+  mutable backoff_cycles : int;
 }
 
 let create () =
@@ -42,6 +44,8 @@ let create () =
     validations = 0;
     val_locks_processed = 0;
     val_locks_skipped = 0;
+    escalations = 0;
+    backoff_cycles = 0;
   }
 
 let reset t =
@@ -56,7 +60,9 @@ let reset t =
   t.extensions <- 0;
   t.validations <- 0;
   t.val_locks_processed <- 0;
-  t.val_locks_skipped <- 0
+  t.val_locks_skipped <- 0;
+  t.escalations <- 0;
+  t.backoff_cycles <- 0
 
 let aborts t =
   t.aborts_read_conflict + t.aborts_write_conflict + t.aborts_validation
@@ -81,7 +87,9 @@ let add_into ~dst t =
   dst.extensions <- dst.extensions + t.extensions;
   dst.validations <- dst.validations + t.validations;
   dst.val_locks_processed <- dst.val_locks_processed + t.val_locks_processed;
-  dst.val_locks_skipped <- dst.val_locks_skipped + t.val_locks_skipped
+  dst.val_locks_skipped <- dst.val_locks_skipped + t.val_locks_skipped;
+  dst.escalations <- dst.escalations + t.escalations;
+  dst.backoff_cycles <- dst.backoff_cycles + t.backoff_cycles
 
 let copy t =
   let c = create () in
@@ -102,10 +110,11 @@ let writes_per_commit t = per_commit t.writes t
 let pp ppf t =
   Format.fprintf ppf
     "commits=%d (ro=%d) aborts=%d [rc=%d wc=%d val=%d roll=%d] reads=%d \
-     writes=%d ext=%d validations=%d val-locks processed=%d skipped=%d | \
-     abort-rate=%.1f%% reads/commit=%.1f writes/commit=%.1f"
+     writes=%d ext=%d validations=%d val-locks processed=%d skipped=%d \
+     escalations=%d backoff-cycles=%d | abort-rate=%.1f%% \
+     reads/commit=%.1f writes/commit=%.1f"
     t.commits t.commits_read_only (aborts t) t.aborts_read_conflict
     t.aborts_write_conflict t.aborts_validation t.aborts_rollover t.reads
     t.writes t.extensions t.validations t.val_locks_processed
-    t.val_locks_skipped (abort_rate_pct t) (reads_per_commit t)
-    (writes_per_commit t)
+    t.val_locks_skipped t.escalations t.backoff_cycles (abort_rate_pct t)
+    (reads_per_commit t) (writes_per_commit t)

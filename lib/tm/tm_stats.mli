@@ -28,6 +28,10 @@ type t = {
   mutable validations : int;  (** full or partial read-set validations *)
   mutable val_locks_processed : int;  (** read-set locks actually re-checked *)
   mutable val_locks_skipped : int;  (** locks skipped via the hierarchy fast path *)
+  mutable escalations : int;
+      (** transactions that exhausted their retry budget and committed on the
+          serial-irrevocable slow path *)
+  mutable backoff_cycles : int;  (** cycles spent in contention back-off *)
 }
 
 val create : unit -> t

@@ -86,13 +86,30 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     if n < 1 then invalid_arg "Vmm.free: size < 1";
     check_addr t addr;
     check_addr t (addr + n - 1);
-    ignore (R.fetch_add t.ctl live_slot (-n));
     if n <= max_class then begin
       lock t n;
+      (* Double-free detection: the block must not already sit on its size
+         class's free list.  O(list length) under the class lock — fine for
+         a simulator arena whose lists stay short; a production allocator
+         would pay one guard word per block instead.  Freeing the same
+         address under a *different* size class is not detectable here. *)
+      let b = ref (R.get t.ctl (head_slot n)) in
+      let dup = ref false in
+      while (not !dup) && !b <> null do
+        if !b = addr then dup := true else b := R.get t.words !b
+      done;
+      if !dup then begin
+        unlock t n;
+        invalid_arg
+          (Printf.sprintf "Vmm.free: double free of block %d (size %d)" addr n)
+      end;
       R.set t.words addr (R.get t.ctl (head_slot n));
       R.set t.ctl (head_slot n) addr;
       unlock t n
-    end
+    end;
+    (* Counters move only once the free is known to be valid, so a rejected
+       free leaves the accounting intact. *)
+    ignore (R.fetch_add t.ctl live_slot (-n))
   (* Blocks larger than max_class are intentionally leaked (bump-only). *)
 
   let live_words t = R.get t.ctl live_slot

@@ -50,7 +50,11 @@ module Make (R : Tstm_runtime.Runtime_intf.S) : sig
 
   val free : t -> int -> int -> unit
   (** [free t addr n] returns the block [addr, n] to the allocator.  The
-      caller must pass the same [n] it allocated with. *)
+      caller must pass the same [n] it allocated with.  Raises
+      [Invalid_argument] when the block lies (even partly) outside the
+      arena, or when a recyclable block ([n <= 256]) is already on its size
+      class's free list (double free).  A double free under a different
+      size class, or of a non-recyclable block, is not detected. *)
 
   val live_words : t -> int
   (** Words currently allocated and not freed (diagnostic). *)

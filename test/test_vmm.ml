@@ -98,6 +98,53 @@ struct
     Alcotest.check_raises "exhausted" Out_of_memory (fun () ->
         ignore (V.alloc m 8))
 
+  let test_free_out_of_range () =
+    let m = V.create ~words:100 in
+    let rejects msg f =
+      match f () with
+      | () -> Alcotest.failf "%s: accepted" msg
+      | exception Invalid_argument _ -> ()
+    in
+    rejects "free at null" (fun () -> V.free m 0 4);
+    rejects "free below range" (fun () -> V.free m (-3) 4);
+    rejects "free past end" (fun () -> V.free m 101 2);
+    rejects "free straddling end" (fun () -> V.free m 99 4);
+    rejects "free of size 0" (fun () -> V.free m 5 0);
+    (* A rejected free must not disturb the live-word accounting. *)
+    let a = V.alloc m 8 in
+    let live = V.live_words m in
+    rejects "free straddling end after alloc" (fun () -> V.free m 99 4);
+    check_int "accounting intact after rejection" live (V.live_words m);
+    V.free m a 8
+
+  let test_double_free_detected () =
+    let m = V.create ~words:1000 in
+    let a = V.alloc m 4 in
+    V.free m a 4;
+    (match V.free m a 4 with
+    | () -> Alcotest.fail "double free accepted"
+    | exception Invalid_argument _ -> ());
+    check_int "accounting not corrupted by double free" 0 (V.live_words m);
+    (* The block is still recyclable exactly once. *)
+    check_int "block recycled once" a (V.alloc m 4);
+    let b = V.alloc m 4 in
+    check_bool "not handed out twice" true (b <> a)
+
+  let test_double_free_deep_in_list () =
+    (* The duplicate need not be the list head: free three blocks, then
+       re-free the first one pushed (now deepest in the free list). *)
+    let m = V.create ~words:1000 in
+    let a = V.alloc m 4 in
+    let b = V.alloc m 4 in
+    let c = V.alloc m 4 in
+    V.free m a 4;
+    V.free m b 4;
+    V.free m c 4;
+    (match V.free m a 4 with
+    | () -> Alcotest.fail "deep double free accepted"
+    | exception Invalid_argument _ -> ());
+    check_int "accounting intact" 0 (V.live_words m)
+
   let test_parallel_alloc_no_overlap () =
     let m = V.create ~words:100_000 in
     let n = 4 and per = 200 in
@@ -148,6 +195,11 @@ struct
       Alcotest.test_case "large blocks bump-only" `Quick
         test_large_blocks_bump_only;
       Alcotest.test_case "out of memory" `Quick test_out_of_memory;
+      Alcotest.test_case "free out of range" `Quick test_free_out_of_range;
+      Alcotest.test_case "double free detected" `Quick
+        test_double_free_detected;
+      Alcotest.test_case "double free deep in list" `Quick
+        test_double_free_deep_in_list;
       Alcotest.test_case "parallel alloc" `Quick test_parallel_alloc_no_overlap;
       Alcotest.test_case "parallel churn" `Quick test_parallel_alloc_free_churn;
     ]
