@@ -1,0 +1,111 @@
+(* Repo lint: source hygiene rules the type checker cannot express.
+
+   Rules (scopes in brackets):
+   - no unsafe casts through the [Obj] module [everywhere];
+   - no [Stdlib.Random] — determinism lives in [lib/util/xrand.ml], the
+     seeded SplitMix64 stream; everything else must thread an [Xrand.t]
+     [lib, bin];
+   - no naked [Printf.printf] inside [lib] — libraries report through the
+     obs exporters or return data, only binaries and tests print [lib];
+   - every [.ml] in [lib] has an [.mli], except interface-only modules
+     ([*_intf.ml]) and the explicit allowlist [lib].
+
+   Patterns are assembled by concatenation so this file does not flag
+   itself.  Usage: [lint.exe DIR...]; directory names are the scopes. *)
+
+let failures = ref 0
+
+let fail path line msg =
+  incr failures;
+  Printf.printf "%s:%d: %s\n" path line msg
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let no_mli_allowlist = [ "intset_list.ml" ]
+
+let pat_magic = "Obj." ^ "magic"
+let pat_random_qualified = "Stdlib." ^ "Random."
+let pat_random = "Random" ^ "."
+let pat_printf = "Printf" ^ ".printf"
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let check_file ~scope path =
+  let lines = read_lines path in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      if contains ~sub:pat_magic line then
+        fail path ln (pat_magic ^ " is forbidden");
+      if
+        (scope = "lib" || scope = "bin")
+        && Filename.basename path <> "xrand.ml"
+        && (contains ~sub:pat_random_qualified line
+           || contains ~sub:(" " ^ pat_random) line
+           || contains ~sub:("(" ^ pat_random) line
+           || String.length line >= String.length pat_random
+              && String.sub line 0 (String.length pat_random) = pat_random)
+      then
+        fail path ln
+          ("Stdlib Random breaks deterministic replay; use Xrand "
+         ^ "(lib/util/xrand.ml)");
+      if
+        scope = "lib"
+        && contains ~sub:pat_printf line
+      then
+        fail path ln
+          (pat_printf ^ " inside lib/; report through obs or return data"))
+    lines
+
+let check_mli path =
+  let base = Filename.basename path in
+  let is_intf =
+    String.length base > 8
+    && String.sub base (String.length base - 8) 8 = "_intf.ml"
+  in
+  if
+    (not is_intf)
+    && (not (List.mem base no_mli_allowlist))
+    && not (Sys.file_exists (path ^ "i"))
+  then fail path 1 "missing .mli (interface-only *_intf.ml modules exempt)"
+
+let rec walk ~scope dir =
+  let entries = Sys.readdir dir in
+  Array.sort compare entries;
+  Array.iter
+    (fun e ->
+      let path = Filename.concat dir e in
+      if Sys.is_directory path then begin
+        if e <> "_build" && e.[0] <> '.' then walk ~scope path
+      end
+      else if Filename.check_suffix e ".ml" then begin
+        check_file ~scope path;
+        if scope = "lib" then check_mli path
+      end)
+    entries
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as roots) -> roots
+    | _ -> [ "lib"; "bin"; "test" ]
+  in
+  List.iter (fun root -> walk ~scope:(Filename.basename root) root) roots;
+  if !failures > 0 then begin
+    Printf.printf "lint: %d failure%s\n" !failures
+      (if !failures = 1 then "" else "s");
+    exit 1
+  end;
+  print_endline "lint: OK"

@@ -5,6 +5,20 @@ open Cmdliner
 module F = Tstm_harness.Figures
 module W = Tstm_harness.Workload
 module S = Tstm_harness.Scenario
+module San = Tstm_san.San
+
+let san_arg =
+  Arg.(
+    value & flag
+    & info [ "san" ]
+        ~doc:
+          "Arm the happens-before sanitizer: shadow every simulated word and \
+           lock slot, check the run for races, lock-discipline and \
+           clock-discipline violations, and fail on any finding.")
+
+let print_san_findings fs =
+  Printf.printf "\nsanitizer findings (%d):\n" (List.length fs);
+  List.iter (fun f -> Printf.printf "  %s\n" (San.render f)) fs
 
 let profile_arg =
   let profile_enum = Arg.enum [ ("quick", F.quick); ("full", F.full) ] in
@@ -172,7 +186,7 @@ let periods_arg =
 
 let run_cmd =
   let run structure stm size updates overwrites threads duration locks_exp
-      shifts hierarchy seed trace metrics_csv top_contended periods =
+      shifts hierarchy seed trace metrics_csv top_contended periods san =
     let spec =
       W.make ~structure ~initial_size:size ~update_pct:updates
         ~overwrite_pct:overwrites ~nthreads:threads ~duration ~seed ()
@@ -180,7 +194,7 @@ let run_cmd =
     let observing =
       trace <> None || metrics_csv <> None || top_contended <> None
     in
-    let r =
+    let body () =
       if not observing then
         S.run_intset ~stm ~n_locks:(1 lsl locks_exp) ~shifts ~hierarchy spec
       else begin
@@ -206,18 +220,29 @@ let run_cmd =
         r
       end
     in
+    let r, findings =
+      if san then San.with_armed ~ncpus:(max 1 threads) body
+      else (body (), [])
+    in
     Format.printf "%s %s size=%d updates=%.0f%% threads=%d: %a@."
       (S.stm_label stm)
       (W.structure_to_string structure)
       size updates threads W.pp_result r;
-    Format.printf "  stats: %a@." Tstm_tm.Tm_stats.pp r.W.stats
+    Format.printf "  stats: %a@." Tstm_tm.Tm_stats.pp r.W.stats;
+    if san then begin
+      Printf.printf "  san: %s\n" (San.summary ());
+      if findings <> [] then begin
+        print_san_findings findings;
+        exit 1
+      end
+    end
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a single experiment point")
     Term.(
       const run $ structure_arg $ stm_arg $ size_arg $ updates_arg
       $ overwrites_arg $ threads_arg $ duration_arg $ locks_exp_arg
       $ shifts_arg $ hierarchy_arg $ seed_arg $ trace_arg $ metrics_csv_arg
-      $ top_contended_arg $ periods_arg)
+      $ top_contended_arg $ periods_arg $ san_arg)
 
 let sweep_cmd =
   let axis_conv =
@@ -413,14 +438,16 @@ let stress_cmd =
       (W.structure_to_string spec.St.structure)
       spec.St.seed r.St.events r.St.commits r.St.aborts r.St.escalations
       r.St.injected r.St.decisions
-      (match r.St.violation with
-      | None -> "serializable"
-      | Some _ -> "VIOLATION")
+      (match (r.St.violation, r.St.san_findings) with
+      | Some _, _ -> "VIOLATION"
+      | None, _ :: _ -> "SANITIZER FINDING"
+      | None, [] -> if spec.St.san then "serializable, san-clean" else "serializable")
   in
   let report_failure spec (r : St.report) =
     (match r.St.violation with
     | Some msg -> Printf.printf "\nserializability violation:\n%s\n" msg
     | None -> ());
+    if r.St.san_findings <> [] then print_san_findings r.St.san_findings;
     (match St.shrink spec r with
     | Some { St.limit; report = _ } ->
         let shrunk = { spec with St.site_limit = Some limit } in
@@ -434,7 +461,7 @@ let stress_cmd =
         Printf.printf "could not shrink; repro: %s\n" (St.repro_command spec))
   in
   let run stm all_stms structure all_structures seeds seed threads ops
-      key_range max_retries sites window bug =
+      key_range max_retries sites window bug san =
     let base =
       {
         St.default with
@@ -447,6 +474,7 @@ let stress_cmd =
         site_limit = sites;
         bug;
         window;
+        san;
       }
     in
     let stms = if all_stms then S.all_stms else [ stm ] in
@@ -465,7 +493,7 @@ let stress_cmd =
                 let spec = { base with St.stm; structure; seed } in
                 let r = St.run_one spec in
                 print_report spec r;
-                if r.St.violation <> None then begin
+                if St.failed r then begin
                   failed := true;
                   report_failure spec r
                 end)
@@ -482,7 +510,10 @@ let stress_cmd =
           sw.St.total_events sw.St.total_injected sw.St.total_commits
           sw.St.total_aborts sw.St.total_escalations;
         match sw.St.first_failure with
-        | None -> Printf.printf "zero serializability violations\n"
+        | None ->
+            Printf.printf "zero %s\n"
+              (if san then "serializability violations or sanitizer findings"
+               else "serializability violations")
         | Some (spec, r) ->
             print_report spec r;
             report_failure spec r;
@@ -500,7 +531,7 @@ let stress_cmd =
       $ all_flag "all-structures"
           "Stress list, rbtree, skiplist and hashset (overrides --structure)."
       $ seeds_arg $ seed_arg $ threads_arg $ ops_arg $ key_range_arg
-      $ max_retries_arg $ sites_arg $ window_arg $ bug_arg)
+      $ max_retries_arg $ sites_arg $ window_arg $ bug_arg $ san_arg)
 
 let () =
   let doc = "TinySTM (PPoPP'08) reproduction: figures and experiments" in

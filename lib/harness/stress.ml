@@ -11,6 +11,7 @@ module R = Tstm_runtime.Runtime_sim
 module Chaos = Tstm_chaos.Chaos
 module History = Tstm_chaos.History
 module Config = Tinystm.Config
+module San = Tstm_san.San
 
 type spec = {
   stm : Scenario.stm_kind;
@@ -24,6 +25,7 @@ type spec = {
   site_limit : int option;
   bug : Chaos.bug option;
   window : int;
+  san : bool;
 }
 
 let default =
@@ -39,10 +41,12 @@ let default =
     site_limit = None;
     bug = None;
     window = 48;
+    san = false;
   }
 
 type report = {
   violation : string option;
+  san_findings : San.finding list;
   injected : int;
   decisions : int;
   events : int;
@@ -50,6 +54,8 @@ type report = {
   aborts : int;
   escalations : int;
 }
+
+let failed r = r.violation <> None || r.san_findings <> []
 
 let stm_code = function
   | Scenario.Tinystm_wb -> "wb"
@@ -77,6 +83,7 @@ let repro_command spec =
   (match spec.bug with
   | Some bug -> Buffer.add_string b (" --bug " ^ Chaos.bug_name bug)
   | None -> ());
+  if spec.san then Buffer.add_string b " --san";
   Buffer.contents b
 
 (* Sized like [Workload.memory_words_for]: at most [key_range] live elements
@@ -102,10 +109,10 @@ let run_one spec =
   let words = memory_words spec in
   let history = History.create ~nthreads:spec.nthreads in
   Chaos.with_bug spec.bug (fun () ->
-      let final, stats, injected, decisions =
+      let final, stats, injected, decisions, san_findings =
         Chaos.with_plan ~config:spec.chaos ?limit:spec.site_limit
           ~seed:spec.seed (fun () ->
-            let final, stats =
+            let body () =
               match spec.stm with
               | Scenario.Tl2 ->
                   let t =
@@ -125,7 +132,12 @@ let run_one spec =
                   in
                   Exec_ts.go t spec history
             in
-            (final, stats, Chaos.injected (), Chaos.decisions ()))
+            let (final, stats), fs =
+              if spec.san then
+                San.with_armed ~ncpus:(max 1 spec.nthreads) body
+              else (body (), [])
+            in
+            (final, stats, Chaos.injected (), Chaos.decisions (), fs))
       in
       let events = History.events history in
       let violation =
@@ -135,6 +147,7 @@ let run_one spec =
       in
       {
         violation;
+        san_findings;
         injected;
         decisions;
         events = List.length events;
@@ -156,29 +169,29 @@ type shrunk = { limit : int; report : report }
    returned limit by construction (we only ever return limits whose run we
    executed and saw fail). *)
 let shrink spec (base : report) =
-  match base.violation with
-  | None -> None
-  | Some _ -> (
-      let check l = run_one { spec with site_limit = Some l } in
-      let r0 = check 0 in
-      if r0.violation <> None then Some { limit = 0; report = r0 }
-      else
-        let rhi = check base.injected in
-        if rhi.violation = None then None
-        else begin
-          let lo = ref 0 and hi = ref base.injected in
-          let rep = ref rhi in
-          while !hi - !lo > 1 do
-            let mid = !lo + ((!hi - !lo) / 2) in
-            let rm = check mid in
-            if rm.violation <> None then begin
-              hi := mid;
-              rep := rm
-            end
-            else lo := mid
-          done;
-          Some { limit = !hi; report = !rep }
-        end)
+  if not (failed base) then None
+  else begin
+    let check l = run_one { spec with site_limit = Some l } in
+    let r0 = check 0 in
+    if failed r0 then Some { limit = 0; report = r0 }
+    else
+      let rhi = check base.injected in
+      if not (failed rhi) then None
+      else begin
+        let lo = ref 0 and hi = ref base.injected in
+        let rep = ref rhi in
+        while !hi - !lo > 1 do
+          let mid = !lo + ((!hi - !lo) / 2) in
+          let rm = check mid in
+          if failed rm then begin
+            hi := mid;
+            rep := rm
+          end
+          else lo := mid
+        done;
+        Some { limit = !hi; report = !rep }
+      end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Seed sweep                                                          *)
@@ -195,7 +208,7 @@ type sweep_result = {
 }
 
 (* Sweep seeds (outer) x stm x structure (inner), stopping at the first
-   serializability violation. *)
+   serializability violation or sanitizer finding. *)
 let sweep ?(on_run = fun _ _ -> ()) ~seeds ~stms ~structures base =
   let runs = ref 0
   and events = ref 0
@@ -219,7 +232,7 @@ let sweep ?(on_run = fun _ _ -> ()) ~seeds ~stms ~structures base =
                commits := !commits + r.commits;
                aborts := !aborts + r.aborts;
                on_run spec r;
-               if r.violation <> None then begin
+               if failed r then begin
                  failure := Some (spec, r);
                  raise Exit
                end)

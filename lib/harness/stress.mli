@@ -18,12 +18,15 @@ type spec = {
   site_limit : int option;  (** cap on fired injection sites (shrinking) *)
   bug : Tstm_chaos.Chaos.bug option;  (** deliberate protocol bug to arm *)
   window : int;  (** checker window *)
+  san : bool;  (** arm the happens-before sanitizer for the run *)
 }
 
 val default : spec
 
 type report = {
   violation : string option;  (** checker diagnostic; [None] = serializable *)
+  san_findings : Tstm_san.San.finding list;
+      (** sanitizer findings; always [[]] when [spec.san] is false *)
   injected : int;  (** chaos injections fired *)
   decisions : int;
   events : int;  (** operations recorded and checked *)
@@ -31,6 +34,10 @@ type report = {
   aborts : int;
   escalations : int;
 }
+
+val failed : report -> bool
+(** A run fails when the checker found a violation or the sanitizer
+    reported at least one finding. *)
 
 val stm_code : Scenario.stm_kind -> string
 (** CLI code: ["wb"], ["wt"] or ["tl2"]. *)
@@ -71,4 +78,5 @@ val sweep :
   spec ->
   sweep_result
 (** Run seeds [0..seeds-1] (outer loop) across the given STMs and
-    structures (inner loops), stopping at the first violation. *)
+    structures (inner loops), stopping at the first failed run
+    (serializability violation or sanitizer finding). *)

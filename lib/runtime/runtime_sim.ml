@@ -11,17 +11,27 @@ let params () = !current_params
 let name = "sim"
 let is_simulated = true
 
-type sarray = { data : int array; cache : Cache_model.t; p : Cache_model.params }
+type sarray = {
+  data : int array;
+  cache : Cache_model.t;
+  p : Cache_model.params;
+  mutable label : string;
+}
 
 let sarray_make len init =
   let p = !current_params in
-  { data = Array.make len init; cache = Cache_model.create !glob len; p }
+  { data = Array.make len init; cache = Cache_model.create !glob len; p;
+    label = "" }
 
 let sarray_length a = Array.length a.data
 
 (* Each access first charges its base cost (a preemption point, so another
    fiber may interleave here), then executes atomically, adding the
-   cache-contention penalty discovered at execution time. *)
+   cache-contention penalty discovered at execution time.  The [Tap]
+   emission sits inside the same atomic window as the access itself (no
+   charge separates them), so a tap consumer observes accesses in exactly
+   the order they execute; emission never charges cycles, keeping tapped
+   runs bit-identical to untapped ones. *)
 
 let get a i =
   if Sim_sched.inside () then begin
@@ -29,7 +39,9 @@ let get a i =
     let cost = Cache_model.read_cost a.cache ~cpu:(Sim_sched.tid ()) ~index:i in
     Sim_sched.charge_noyield (cost - a.p.Cache_model.read_hit)
   end;
-  a.data.(i)
+  let v = a.data.(i) in
+  if Tap.enabled () then Tap.access ~label:a.label ~index:i Tap.Get;
+  v
 
 let set a i v =
   if Sim_sched.inside () then begin
@@ -37,7 +49,8 @@ let set a i v =
     let cost = Cache_model.write_cost a.cache ~cpu:(Sim_sched.tid ()) ~index:i in
     Sim_sched.charge_noyield (cost - a.p.Cache_model.write_hit)
   end;
-  a.data.(i) <- v
+  a.data.(i) <- v;
+  if Tap.enabled () then Tap.access ~label:a.label ~index:i Tap.Set
 
 let cas a i expected desired =
   if Sim_sched.inside () then begin
@@ -45,11 +58,15 @@ let cas a i expected desired =
     let cost = Cache_model.write_cost a.cache ~cpu:(Sim_sched.tid ()) ~index:i in
     Sim_sched.charge_noyield (cost - a.p.Cache_model.write_hit)
   end;
-  if a.data.(i) = expected then begin
-    a.data.(i) <- desired;
-    true
-  end
-  else false
+  let ok =
+    if a.data.(i) = expected then begin
+      a.data.(i) <- desired;
+      true
+    end
+    else false
+  in
+  if Tap.enabled () then Tap.access ~label:a.label ~index:i (Tap.Cas ok);
+  ok
 
 let fetch_add a i d =
   if Sim_sched.inside () then begin
@@ -59,13 +76,21 @@ let fetch_add a i d =
   end;
   let old = a.data.(i) in
   a.data.(i) <- old + d;
+  if Tap.enabled () then Tap.access ~label:a.label ~index:i Tap.Faa;
   old
 
 (* Start every run with cold private caches so a result depends only on the
-   experiment, not on what the process simulated before. *)
+   experiment, not on what the process simulated before.  The run
+   boundaries are real full synchronizations (fibers are forked and joined
+   here), which the tap reports so a happens-before consumer can join its
+   clocks. *)
 let run ~nthreads body =
   Cache_model.reset_tags !glob;
-  Sim_sched.run ~nthreads body
+  if Tap.enabled () then Tap.run_boundary ();
+  Fun.protect
+    ~finally:(fun () -> if Tap.enabled () then Tap.run_boundary ())
+    (fun () -> Sim_sched.run ~nthreads body)
+
 let tid = Sim_sched.tid
 
 let now () =
@@ -73,7 +98,10 @@ let now () =
   /. (!current_params.Cache_model.clock_ghz *. 1e9)
 
 let now_cycles = Sim_sched.now_cycles
-let sarray_label a label = Cache_model.set_label a.cache label
+
+let sarray_label a label =
+  a.label <- label;
+  Cache_model.set_label a.cache label
 
 let charge = Sim_sched.charge
 let charge_local = Sim_sched.charge_noyield

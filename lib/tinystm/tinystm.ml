@@ -25,6 +25,14 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   let chaos_on () = Chaos.enabled ()
 
+  (* Sanitizer: explicit sync-edge annotations at the operations that
+     really order transactions (orec CAS/release, clock fetch_add/read,
+     quiescence fence).  Same discipline as obs: one boolean load when
+     disarmed, no cycles charged when armed. *)
+  module San = Tstm_san.San
+
+  let san_on () = San.enabled ()
+
   let chaos_point p =
     let n = Chaos.preempt p in
     if n > 0 then R.charge n
@@ -269,9 +277,12 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         R.yield ();
         enter_fence t d
       end
+      else if san_on () then San.fence_pass ~cpu:d.tid
     end
 
-  let leave_fence t d = R.set t.flags (flag_slot d.tid) 0
+  let leave_fence t d =
+    R.set t.flags (flag_slot d.tid) 0;
+    if san_on () then San.thread_park ~cpu:d.tid
 
   let fence_and t f =
     let rec acquire () =
@@ -286,13 +297,16 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         R.yield ()
       done
     done;
+    if san_on () then San.fence_owner_entry ~cpu:(R.tid ());
     (* Release the fence even when [f] raises: an escalated transaction runs
        arbitrary user code here. *)
     match f () with
     | v ->
+        if san_on () then San.fence_owner_exit ~cpu:(R.tid ());
         R.set t.ctl mode_slot 0;
         v
     | exception e ->
+        if san_on () then San.fence_owner_exit ~cpu:(R.tid ());
         R.set t.ctl mode_slot 0;
         raise e
 
@@ -312,6 +326,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
             R.set t.hier2 i 0
           done;
           ignore (R.fetch_add t.ctl rollover_slot 1);
+          if san_on () then San.rollover ~cpu:(R.tid ());
           if obs_on () then emit Obs.Event.Clock_rollover
         end)
 
@@ -327,7 +342,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         R.sarray_label t.locks "locks";
         R.sarray_label t.hier "hier";
         R.sarray_label t.hier2 "hier2";
-        R.set t.ctl clock_slot 0)
+        R.set t.ctl clock_slot 0;
+        (* The clock restarts from zero, like a roll-over. *)
+        if san_on () then San.rollover ~cpu:(R.tid ()))
 
   (* ------------------------------------------------------------------ *)
   (* Hierarchical locking (paper §3.2)                                   *)
@@ -460,10 +477,12 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
          the stress checker can demonstrate it catches the resulting
          non-serializable histories. *)
       d.rv <- now;
+      if san_on () then San.clock_read ~cpu:d.tid ~value:now;
       true
     end
     else if validate t d then begin
       d.rv <- now;
+      if san_on () then San.clock_read ~cpu:d.tid ~value:now;
       d.stats.Stats.extensions <- d.stats.Stats.extensions + 1;
       if obs_on () then emit Obs.Event.Clock_extend;
       true
@@ -575,6 +594,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
             G.push buf li;
             G.push buf ver
           end;
+          if san_on () then San.read_accept ~cpu:d.tid ~addr;
           d.stats.Stats.reads <- d.stats.Stats.reads + 1;
           v
         end
@@ -640,6 +660,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
               R.cas t.locks li l
                 (Lockenc.locked ~tid:d.tid ~payload:(G.length d.w_addr))
             then begin
+              if san_on () then San.lock_acquire ~cpu:d.tid ~lock:li;
               if chaos_on () then chaos_point Chaos.Lock_cas;
               if obs_on () then emit (Obs.Event.Lock_acquire { lock = li });
               hier_note_acquired t d addr;
@@ -659,6 +680,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         | Config.Write_through ->
             if chaos_on () then chaos_point Chaos.Lock_cas;
             if R.cas t.locks li l (Lockenc.locked ~tid:d.tid ~payload:0) then begin
+              if san_on () then San.lock_acquire ~cpu:d.tid ~lock:li;
               if chaos_on () then chaos_point Chaos.Lock_cas;
               if obs_on () then emit (Obs.Event.Lock_acquire { lock = li });
               hier_note_acquired t d addr;
@@ -706,16 +728,20 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
   let release_locks_commit t d wv =
     let n = G.length d.l_idx in
     let tracing = obs_on () in
+    let sanning = san_on () in
     for k = 0 to n - 1 do
       R.set t.locks (G.get d.l_idx k)
         (Lockenc.unlocked ~version:wv ~incarnation:0);
+      if sanning then San.lock_release ~cpu:d.tid ~lock:(G.get d.l_idx k);
       if tracing then emit (Obs.Event.Lock_release { lock = G.get d.l_idx k })
     done
 
   let release_locks_abort t d =
     let n = G.length d.l_idx in
     let tracing = obs_on () in
+    let sanning = san_on () in
     let released k =
+      if sanning then San.lock_release ~cpu:d.tid ~lock:(G.get d.l_idx k);
       if tracing then emit (Obs.Event.Lock_release { lock = G.get d.l_idx k })
     in
     match t.cfg.Config.strategy with
@@ -754,6 +780,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     end
     else begin
       let wv = R.fetch_add t.ctl clock_slot 1 + 1 in
+      if san_on () then San.clock_advance ~cpu:d.tid ~drawn:wv;
       if wv >= t.max_clock then abort Stats.Rollover;
       (* Validation is unnecessary when no other transaction committed since
          our snapshot bound (paper §3.2). *)
@@ -767,6 +794,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
             R.set words (G.get d.w_addr k) (G.get d.w_val k)
           done
       | Config.Write_through -> ());
+      (* The snapshot-consistency check must see the write set still under
+         lock, before any orec is released. *)
+      if san_on () then San.commit_publish ~cpu:d.tid ~wv;
       release_locks_commit t d wv;
       (* Frees take effect only now that the locks carry the new version. *)
       let nf = G.length d.f_addr in
@@ -776,7 +806,8 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       d.last_stamp <- wv;
       d.stats.Stats.commits <- d.stats.Stats.commits + 1
     end;
-    cleanup d
+    cleanup d;
+    if san_on () then San.tx_exit ~cpu:d.tid ~committed:true
 
   let rollback ?record t d =
     (match t.cfg.Config.strategy with
@@ -787,6 +818,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         for k = G.length d.u_addr - 1 downto 0 do
           R.set words (G.get d.u_addr k) (G.get d.u_val k)
         done);
+    (* Shadow state must be restored while the orecs still protect the
+       written words, i.e. before the releases below. *)
+    if san_on () then San.tx_abort ~cpu:d.tid;
     release_locks_abort t d;
     (* Allocations made by the aborted transaction are reclaimed; logged
        frees are dropped. *)
@@ -797,7 +831,8 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     (match record with
     | Some reason -> Stats.record_abort d.stats reason
     | None -> ());
-    cleanup d
+    cleanup d;
+    if san_on () then San.tx_exit ~cpu:d.tid ~committed:false
 
   (* ------------------------------------------------------------------ *)
   (* Transaction driver                                                  *)
@@ -836,8 +871,13 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       d.read_only <- read_only;
       if chaos_on () then chaos_point Chaos.Clock_read;
       d.rv <- R.get t.ctl clock_slot;
+      if san_on () then begin
+        San.tx_begin ~cpu:d.tid;
+        San.clock_read ~cpu:d.tid ~value:d.rv
+      end;
       if d.rv >= t.max_clock - 1 then begin
         d.in_tx <- false;
+        if san_on () then San.tx_exit ~cpu:d.tid ~committed:false;
         leave_fence t d;
         do_rollover t;
         attempt tries
@@ -903,6 +943,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
           d.in_tx <- true;
           d.read_only <- read_only;
           d.irrevocable <- true;
+          if san_on () then San.tx_begin ~cpu:d.tid;
           if obs_on () then begin
             d.obs_start <- R.now_cycles ();
             d.obs_reads0 <- d.stats.Stats.reads;
@@ -930,10 +971,15 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
                     R.set t.hier2 i 0
                   done;
                   ignore (R.fetch_add t.ctl rollover_slot 1);
+                  if san_on () then San.rollover ~cpu:d.tid;
                   if obs_on () then emit Obs.Event.Clock_rollover;
                   R.fetch_add t.ctl clock_slot 1 + 1
                 end
               in
+              if san_on () then begin
+                San.clock_advance ~cpu:d.tid ~drawn:wv;
+                San.commit_publish ~cpu:d.tid ~wv
+              end;
               let nf = G.length d.f_addr in
               for k = 0 to nf - 1 do
                 V.free t.mem (G.get d.f_addr k) (G.get d.f_size k)
@@ -954,12 +1000,20 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
               end;
               d.irrevocable <- false;
               cleanup d;
+              if san_on () then San.tx_exit ~cpu:d.tid ~committed:true;
               (v, wv)
           | exception e ->
               (* Irrevocable means exactly that: direct writes stay.  The
                  caller chose to run side-effecting code to completion; an
                  exception still releases the fence and propagates. *)
               d.irrevocable <- false;
+              (* The stayed writes never published a version; restoring
+                 their shadow to the previous life keeps later accesses
+                 judged against a committed state. *)
+              if san_on () then begin
+                San.tx_abort ~cpu:d.tid;
+                San.tx_exit ~cpu:d.tid ~committed:false
+              end;
               cleanup d;
               raise e)
     in

@@ -22,6 +22,12 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     let n = Chaos.preempt p in
     if n > 0 then R.charge n
 
+  (* Sanitizer sync-edge annotations (same guarded, zero-cycle discipline
+     as obs and chaos). *)
+  module San = Tstm_san.San
+
+  let san_on () = San.enabled ()
+
   (* TL2 lock words: unlocked = [version | 0]; locked = [tid | 1].  No
      incarnation numbers (write-back never dirties memory before commit) and
      no write-set payload (there is no per-lock chain — that is TinySTM's
@@ -188,9 +194,12 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         R.yield ();
         enter_fence t d
       end
+      else if san_on () then San.fence_pass ~cpu:d.tid
     end
 
-  let leave_fence t d = R.set t.flags (flag_slot d.tid) 0
+  let leave_fence t d =
+    R.set t.flags (flag_slot d.tid) 0;
+    if san_on () then San.thread_park ~cpu:d.tid
 
   let fence_and t f =
     let rec acquire () =
@@ -205,13 +214,16 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         R.yield ()
       done
     done;
+    if san_on () then San.fence_owner_entry ~cpu:(R.tid ());
     (* Release the fence even when [f] raises: an escalated transaction runs
        arbitrary user code here. *)
     match f () with
     | v ->
+        if san_on () then San.fence_owner_exit ~cpu:(R.tid ());
         R.set t.ctl mode_slot 0;
         v
     | exception e ->
+        if san_on () then San.fence_owner_exit ~cpu:(R.tid ());
         R.set t.ctl mode_slot 0;
         raise e
 
@@ -272,6 +284,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
               G.push d.r_set li;
               G.push d.r_set (version l1)
             end;
+            if san_on () then San.read_accept ~cpu:d.tid ~addr;
             d.stats.Stats.reads <- d.stats.Stats.reads + 1;
             v
           end
@@ -322,8 +335,10 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   let release_acquired t d =
     let tracing = obs_on () in
+    let sanning = san_on () in
     for k = 0 to G.length d.l_idx - 1 do
       R.set t.locks (G.get d.l_idx k) (G.get d.l_old k);
+      if sanning then San.lock_release ~cpu:d.tid ~lock:(G.get d.l_idx k);
       if tracing then emit (Obs.Event.Lock_release { lock = G.get d.l_idx k })
     done;
     G.clear d.l_idx;
@@ -366,6 +381,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
             abort Stats.Write_conflict
           end
           else begin
+          if san_on () then San.lock_acquire ~cpu:d.tid ~lock:li;
           if chaos_on () then chaos_point Chaos.Lock_cas;
           if obs_on () then emit (Obs.Event.Lock_acquire { lock = li });
           G.push d.l_idx li;
@@ -409,6 +425,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       acquire_write_locks t d;
       if chaos_on () then chaos_point Chaos.Clock_inc;
       let wv = R.fetch_add t.ctl clock_slot 1 + 1 in
+      if san_on () then San.clock_advance ~cpu:d.tid ~drawn:wv;
       if chaos_on () then chaos_point Chaos.Commit;
       if
         wv > d.rv + 1
@@ -422,9 +439,14 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       for k = 0 to G.length d.w_addr - 1 do
         R.set words (G.get d.w_addr k) (G.get d.w_val k)
       done;
+      (* The snapshot-consistency check must see the write set still under
+         lock, before any orec is released. *)
+      if san_on () then San.commit_publish ~cpu:d.tid ~wv;
       let tracing = obs_on () in
+      let sanning = san_on () in
       for k = 0 to G.length d.l_idx - 1 do
         R.set t.locks (G.get d.l_idx k) (unlocked ~version:wv);
+        if sanning then San.lock_release ~cpu:d.tid ~lock:(G.get d.l_idx k);
         if tracing then
           emit (Obs.Event.Lock_release { lock = G.get d.l_idx k })
       done;
@@ -433,11 +455,14 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       done;
       d.stats.Stats.commits <- d.stats.Stats.commits + 1
     end;
-    cleanup d
+    cleanup d;
+    if san_on () then San.tx_exit ~cpu:d.tid ~committed:true
 
   let rollback ?record t d =
     (* Commit-time locking: nothing was written to memory; just drop logs and
-       reclaim speculative allocations. *)
+       reclaim speculative allocations.  (The sanitizer write log is empty
+       for the same reason, so [tx_abort] has nothing to restore.) *)
+    if san_on () then San.tx_abort ~cpu:d.tid;
     release_acquired t d;
     for k = 0 to G.length d.a_addr - 1 do
       V.free t.mem (G.get d.a_addr k) (G.get d.a_size k)
@@ -445,7 +470,8 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     (match record with
     | Some reason -> Stats.record_abort d.stats reason
     | None -> ());
-    cleanup d
+    cleanup d;
+    if san_on () then San.tx_exit ~cpu:d.tid ~committed:false
 
   (* ------------------------------------------------------------------ *)
   (* Transaction driver                                                  *)
@@ -478,6 +504,10 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       d.read_only <- read_only;
       if chaos_on () then chaos_point Chaos.Clock_read;
       d.rv <- R.get t.ctl clock_slot;
+      if san_on () then begin
+        San.tx_begin ~cpu:d.tid;
+        San.clock_read ~cpu:d.tid ~value:d.rv
+      end;
       if obs_on () then begin
         d.obs_start <- R.now_cycles ();
         d.obs_reads0 <- d.stats.Stats.reads;
@@ -532,6 +562,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
           d.in_tx <- true;
           d.read_only <- read_only;
           d.irrevocable <- true;
+          if san_on () then San.tx_begin ~cpu:d.tid;
           if obs_on () then begin
             d.obs_start <- R.now_cycles ();
             d.obs_reads0 <- d.stats.Stats.reads;
@@ -543,7 +574,11 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
               R.charge_local c_tx_end;
               (* Keep the clock moving so the serial commit has a unique
                  serialization point with respect to the version order. *)
-              ignore (R.fetch_add t.ctl clock_slot 1);
+              let wv = R.fetch_add t.ctl clock_slot 1 + 1 in
+              if san_on () then begin
+                San.clock_advance ~cpu:d.tid ~drawn:wv;
+                San.commit_publish ~cpu:d.tid ~wv
+              end;
               for k = 0 to G.length d.f_addr - 1 do
                 V.free t.mem (G.get d.f_addr k) (G.get d.f_size k)
               done;
@@ -562,11 +597,16 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
               end;
               d.irrevocable <- false;
               cleanup d;
+              if san_on () then San.tx_exit ~cpu:d.tid ~committed:true;
               v
           | exception e ->
               (* Irrevocable: direct writes stay; release the fence and
                  propagate. *)
               d.irrevocable <- false;
+              if san_on () then begin
+                San.tx_abort ~cpu:d.tid;
+                San.tx_exit ~cpu:d.tid ~committed:false
+              end;
               cleanup d;
               raise e)
     in

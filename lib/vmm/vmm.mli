@@ -52,9 +52,12 @@ module Make (R : Tstm_runtime.Runtime_intf.S) : sig
   (** [free t addr n] returns the block [addr, n] to the allocator.  The
       caller must pass the same [n] it allocated with.  Raises
       [Invalid_argument] when the block lies (even partly) outside the
-      arena, or when a recyclable block ([n <= 256]) is already on its size
-      class's free list (double free).  A double free under a different
-      size class, or of a non-recyclable block, is not detected. *)
+      arena, when a recyclable block ([n <= 256]) is already on its size
+      class's free list (double free), or when a non-recyclable block
+      ([n > 256]) was never allocated, is already freed, or is freed with a
+      size different from its allocation (extents of live large blocks are
+      tracked).  A double free of a recyclable block under a different size
+      class remains undetected. *)
 
   val live_words : t -> int
   (** Words currently allocated and not freed (diagnostic). *)

@@ -1,0 +1,155 @@
+(* Property tests for the word-level encodings: TinySTM's versioned-lock
+   words ([Lockenc]) with the version range driven to and beyond the default
+   clock roll-over boundary, and the hierarchical-array bit masks
+   ([Hmask]) against a reference model. *)
+
+module Lockenc = Tinystm.Lockenc
+module Hmask = Tinystm.Hmask
+
+let default_max_clock = Lockenc.max_version - 64
+
+(* Versions that matter: small, around the default roll-over boundary
+   (where the fence resets the clock), and up to the encoding limit. *)
+let version_gen =
+  QCheck.(
+    oneof
+      [
+        int_range 0 4096;
+        int_range (default_max_clock - 8) (default_max_clock + 8);
+        int_range (Lockenc.max_version - 8) Lockenc.max_version;
+      ])
+
+let prop_unlocked_roundtrip =
+  QCheck.Test.make ~name:"unlocked roundtrip across rollover boundary"
+    ~count:1000
+    QCheck.(pair version_gen (int_range 0 Lockenc.max_incarnation))
+    (fun (version, incarnation) ->
+      let w = Lockenc.unlocked ~version ~incarnation in
+      (not (Lockenc.is_locked w))
+      && Lockenc.version w = version
+      && Lockenc.incarnation w = incarnation)
+
+let prop_incarnation_isolated =
+  QCheck.Test.make ~name:"incarnation bits never bleed into the version"
+    ~count:1000 version_gen (fun version ->
+      List.for_all
+        (fun inc ->
+          Lockenc.version (Lockenc.unlocked ~version ~incarnation:inc)
+          = version)
+        [ 0; 1; Lockenc.max_incarnation ])
+
+let prop_locked_roundtrip =
+  QCheck.Test.make ~name:"locked roundtrip over full owner-id range"
+    ~count:1000
+    QCheck.(pair (int_range 0 Lockenc.max_tid) (int_range 0 (1 lsl 40)))
+    (fun (tid, payload) ->
+      let w = Lockenc.locked ~tid ~payload in
+      Lockenc.is_locked w
+      && Lockenc.owner w = tid
+      && Lockenc.payload w = payload)
+
+let prop_no_payload_distinct =
+  QCheck.Test.make ~name:"no_payload distinguishable from real payloads"
+    ~count:500
+    QCheck.(int_range 0 (1 lsl 30))
+    (fun payload ->
+      payload = Lockenc.no_payload
+      || Lockenc.payload
+           (Lockenc.locked ~tid:0 ~payload:Lockenc.no_payload)
+         <> payload)
+
+let prop_disjoint =
+  QCheck.Test.make
+    ~name:"locked and unlocked words never collide at the boundary"
+    ~count:1000
+    QCheck.(
+      quad version_gen
+        (int_range 0 Lockenc.max_incarnation)
+        (int_range 0 Lockenc.max_tid)
+        (int_range 0 (1 lsl 30)))
+    (fun (version, incarnation, tid, payload) ->
+      Lockenc.unlocked ~version ~incarnation
+      <> Lockenc.locked ~tid ~payload)
+
+(* ------------------------------------------------------------------ *)
+(* Hmask against a reference model                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A random add/clear script over a small slot range, mirrored into a list
+   model: membership, cardinality, first-add reporting and insertion-order
+   iteration must all agree. *)
+let prop_hmask_model =
+  let script =
+    QCheck.(
+      pair (int_range 1 64)
+        (small_list (pair bool (int_range 0 63))))
+  in
+  QCheck.Test.make ~name:"hmask agrees with a list model" ~count:1000 script
+    (fun (h, ops) ->
+      let m = Hmask.create h in
+      let model = ref [] in
+      let ok = ref (Hmask.size m = h && Hmask.cardinal m = 0) in
+      List.iter
+        (fun (is_clear, slot) ->
+          if is_clear && slot mod 7 = 0 then begin
+            Hmask.clear m;
+            model := []
+          end
+          else
+            let i = slot mod h in
+            let fresh = Hmask.add m i in
+            let model_fresh = not (List.mem i !model) in
+            if model_fresh then model := !model @ [ i ];
+            if fresh <> model_fresh then ok := false)
+        ops;
+      let iterated = ref [] in
+      Hmask.iter m (fun i -> iterated := i :: !iterated);
+      !ok
+      && List.rev !iterated = !model
+      && Hmask.cardinal m = List.length !model
+      && List.for_all (fun i -> Hmask.mem m i) !model
+      && List.for_all
+           (fun i -> Hmask.mem m i = List.mem i !model)
+           (List.init h Fun.id))
+
+let prop_hmask_add_idempotent =
+  QCheck.Test.make ~name:"hmask add is idempotent" ~count:500
+    QCheck.(pair (int_range 1 64) (int_range 0 63))
+    (fun (h, slot) ->
+      let m = Hmask.create h in
+      let i = slot mod h in
+      Hmask.add m i
+      && (not (Hmask.add m i))
+      && Hmask.cardinal m = 1
+      && Hmask.mem m i)
+
+let prop_hmask_clear_resets =
+  QCheck.Test.make ~name:"hmask clear resets every bit" ~count:500
+    QCheck.(pair (int_range 1 64) (small_list (int_range 0 63)))
+    (fun (h, slots) ->
+      let m = Hmask.create h in
+      List.iter (fun s -> ignore (Hmask.add m (s mod h))) slots;
+      Hmask.clear m;
+      Hmask.cardinal m = 0
+      && List.for_all (fun i -> not (Hmask.mem m i)) (List.init h Fun.id))
+
+let () =
+  Alcotest.run "encodings"
+    [
+      ( "lockenc",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_unlocked_roundtrip;
+            prop_incarnation_isolated;
+            prop_locked_roundtrip;
+            prop_no_payload_distinct;
+            prop_disjoint;
+          ] );
+      ( "hmask",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_hmask_model;
+            prop_hmask_add_idempotent;
+            prop_hmask_clear_resets;
+          ] );
+    ]

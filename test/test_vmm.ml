@@ -145,6 +145,41 @@ struct
     | exception Invalid_argument _ -> ());
     check_int "accounting intact" 0 (V.live_words m)
 
+  let rejects_invalid msg f =
+    match f () with
+    | () -> Alcotest.failf "%s: accepted" msg
+    | exception Invalid_argument _ -> ()
+
+  let test_large_free_validated () =
+    (* Large (non-recyclable) blocks are tracked by extent, so their frees
+       are validated even without a free list to scan. *)
+    let m = V.create ~words:4096 in
+    let a = V.alloc m 300 in
+    rejects_invalid "never-allocated large free" (fun () ->
+        V.free m (a + 1) 300);
+    rejects_invalid "mismatched-size large free" (fun () -> V.free m a 301);
+    check_int "rejections left accounting intact" 300 (V.live_words m);
+    V.free m a 300;
+    check_int "valid free accounted" 0 (V.live_words m)
+
+  let test_large_double_free () =
+    let m = V.create ~words:4096 in
+    let a = V.alloc m 300 in
+    V.free m a 300;
+    rejects_invalid "large double free" (fun () -> V.free m a 300);
+    check_int "accounting not corrupted" 0 (V.live_words m)
+
+  let test_large_extent_per_block () =
+    (* Distinct large blocks are tracked independently; freeing one must
+       not disturb the other's extent. *)
+    let m = V.create ~words:4096 in
+    let a = V.alloc m 300 in
+    let b = V.alloc m 400 in
+    V.free m a 300;
+    rejects_invalid "first block already freed" (fun () -> V.free m a 300);
+    V.free m b 400;
+    check_int "both accounted" 0 (V.live_words m)
+
   let test_parallel_alloc_no_overlap () =
     let m = V.create ~words:100_000 in
     let n = 4 and per = 200 in
@@ -198,6 +233,11 @@ struct
       Alcotest.test_case "free out of range" `Quick test_free_out_of_range;
       Alcotest.test_case "double free detected" `Quick
         test_double_free_detected;
+      Alcotest.test_case "large free validated" `Quick
+        test_large_free_validated;
+      Alcotest.test_case "large double free" `Quick test_large_double_free;
+      Alcotest.test_case "large extents per block" `Quick
+        test_large_extent_per_block;
       Alcotest.test_case "double free deep in list" `Quick
         test_double_free_deep_in_list;
       Alcotest.test_case "parallel alloc" `Quick test_parallel_alloc_no_overlap;
