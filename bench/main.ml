@@ -1,9 +1,10 @@
 (* Benchmark harness:
 
-     dune exec bench/main.exe                 micro + all figures (quick)
-     dune exec bench/main.exe -- --full       micro + all figures (full)
+     dune exec bench/main.exe                 micro + ablation + all figures
+     dune exec bench/main.exe -- --full       same, paper-size profile
      dune exec bench/main.exe -- --fig 6      one figure (quick)
-     dune exec bench/main.exe -- --fig 6 --full
+     dune exec bench/main.exe -- --fig 6 --jobs 4
+                                              same, on 4 worker processes
      dune exec bench/main.exe -- --micro      Bechamel microbenchmarks only
      dune exec bench/main.exe -- --ablation   cost-model ablation sweep
      dune exec bench/main.exe -- --trace t.json --metrics-csv m.csv \
@@ -14,14 +15,22 @@
    The figure drivers regenerate every figure of the paper's evaluation
    (Figs. 2-12) on the simulated 8-core runtime; the microbenchmarks time
    the real-hardware hot paths (transactional read/write/commit for
-   TinySTM-WB/WT and TL2, plus lock-word and Bloom-filter primitives). *)
+   TinySTM-WB/WT and TL2, plus lock-word and Bloom-filter primitives).
+   All simulated sweeps route through Tstm_exec: `--jobs N` fans the
+   independent runs out to N worker processes with byte-identical
+   stdout. *)
 
 open Bechamel
 open Toolkit
+open Cmdliner
 
 module R = Tstm_runtime.Runtime_real
 module Ts = Tinystm.Make (R)
 module Tl = Tstm_tl2.Tl2.Make (R)
+module F = Tstm_harness.Figures
+module W = Tstm_harness.Workload
+module Cli = Tstm_exec.Cli
+module Job = Tstm_exec.Job
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmarks (Bechamel, real runtime)                            *)
@@ -124,169 +133,107 @@ let run_micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
-(* Cost-model ablation                                                 *)
-(* ------------------------------------------------------------------ *)
-
-(* DESIGN.md calls out the simulator cost constants as a design choice; this
-   sweep shows how the headline comparison (Fig. 3b: list, 256 elements,
-   20% updates, 8 threads) responds to each of them. *)
-let run_ablation () =
-  print_endline "=== Cost-model ablation (list 256, 20% updates, 8 threads) ===";
-  let module CM = Tstm_runtime.Cache_model in
-  let point label params =
-    Tstm_runtime.Runtime_sim.configure params;
-    let spec =
-      Tstm_harness.Workload.make ~structure:Tstm_harness.Workload.List
-        ~initial_size:256 ~update_pct:20.0 ~nthreads:8 ~duration:0.002 ()
-    in
-    let wb =
-      Tstm_harness.Scenario.run_intset ~stm:Tstm_harness.Scenario.Tinystm_wb
-        spec
-    in
-    let tl =
-      Tstm_harness.Scenario.run_intset ~stm:Tstm_harness.Scenario.Tl2 spec
-    in
-    Printf.printf "%-34s WB %8.0f tx/s   TL2 %8.0f tx/s   (WB/TL2 %.2f)\n%!"
-      label wb.Tstm_harness.Workload.throughput
-      tl.Tstm_harness.Workload.throughput
-      (wb.Tstm_harness.Workload.throughput
-      /. tl.Tstm_harness.Workload.throughput)
-  in
-  point "baseline" CM.default;
-  point "line_transfer x2" { CM.default with CM.line_transfer = 200 };
-  point "line_transfer /2" { CM.default with CM.line_transfer = 50 };
-  point "cas_extra x3" { CM.default with CM.cas_extra = 60 };
-  point "no L1 (flat hierarchy)" { CM.default with CM.l1_miss = 0 };
-  point "tiny private cache (16 KiB)"
-    { CM.default with CM.private_cache_lines = 256; CM.l1_lines = 64 };
-  (* Contention-management alternative of §3.1: bounded wait instead of
-     immediate abort on a foreign lock. *)
-  let wait_point attempts =
-    Tstm_runtime.Runtime_sim.configure CM.default;
-    let spec =
-      Tstm_harness.Workload.make ~structure:Tstm_harness.Workload.List
-        ~initial_size:256 ~update_pct:20.0 ~nthreads:8 ~duration:0.002 ()
-    in
-    let module S = Tstm_harness.Scenario in
-    let t =
-      S.Ts.create
-        ~config:(Tinystm.Config.make ())
-        ~conflict_wait:attempts
-        ~memory_words:(Tstm_harness.Workload.memory_words_for spec)
-        ()
-    in
-    let module D = Tstm_harness.Driver.Make (Tstm_runtime.Runtime_sim) (S.Ts) in
-    let ops = D.make_structure t spec.Tstm_harness.Workload.structure in
-    D.populate t ops spec;
-    let r = D.run t ops spec in
-    Printf.printf "conflict_wait=%-3d                  WB %8.0f tx/s   aborts %d\n%!"
-      attempts r.Tstm_harness.Workload.throughput
-      r.Tstm_harness.Workload.aborts
-  in
-  List.iter wait_point [ 0; 4; 32 ];
-  (* The paper's §3.2 generalization: a second, coarser counter level over
-     the hierarchical array (validation-heavy list workload). *)
-  let two_level_point (h, h2) =
-    Tstm_runtime.Runtime_sim.configure CM.default;
-    let spec =
-      Tstm_harness.Workload.make ~structure:Tstm_harness.Workload.List
-        ~initial_size:1024 ~update_pct:20.0 ~nthreads:8 ~duration:0.002 ()
-    in
-    let r =
-      Tstm_harness.Scenario.run_intset ~stm:Tstm_harness.Scenario.Tinystm_wb
-        ~n_locks:(1 lsl 16) ~shifts:2 ~hierarchy:h ~hierarchy2:h2 spec
-    in
-    let s = r.Tstm_harness.Workload.stats in
-    Printf.printf
-      "hierarchy h=%-3d h2=%-3d            WB %8.0f tx/s   val locks: %d processed, %d skipped\n%!"
-      h h2 r.Tstm_harness.Workload.throughput
-      s.Tstm_tm.Tm_stats.val_locks_processed
-      s.Tstm_tm.Tm_stats.val_locks_skipped
-  in
-  List.iter two_level_point [ (1, 1); (64, 1); (64, 8); (256, 16) ];
-  Tstm_runtime.Runtime_sim.configure CM.default;
-  print_newline ()
-
-(* ------------------------------------------------------------------ *)
 (* Observed run                                                        *)
 (* ------------------------------------------------------------------ *)
 
 (* The flagship comparison point (Fig. 3b: list, 256 elements, 20% updates,
    8 threads) run under a live observability sink, exporting whatever the
    --trace/--metrics-csv/--top-contended flags asked for. *)
-let run_observed ~trace ~metrics_csv ~top_contended =
+let run_observed ~jobs ~trace ~metrics_csv ~top_contended =
   print_endline "=== Observed run (list 256, 20% updates, 8 threads, WB) ===";
   let spec =
-    Tstm_harness.Workload.make ~structure:Tstm_harness.Workload.List
-      ~initial_size:256 ~update_pct:20.0 ~nthreads:8 ~duration:0.005 ()
+    W.make ~structure:W.List ~initial_size:256 ~update_pct:20.0 ~nthreads:8
+      ~duration:0.005 ()
   in
-  let r, collector, metrics =
-    Tstm_harness.Scenario.run_intset_observed
-      ~stm:Tstm_harness.Scenario.Tinystm_wb ~period:0.0005 ~n_periods:10 spec
+  let point =
+    {
+      Job.p_stm = "tinystm-wb";
+      p_spec = spec;
+      p_n_locks = Tinystm.Config.default.Tinystm.Config.n_locks;
+      p_shifts = 0;
+      p_hierarchy = 1;
+      p_periods = 10;
+      p_observe = true;
+      p_san = false;
+    }
   in
-  Format.printf "%a@." Tstm_harness.Workload.pp_result r;
-  print_string (Tstm_obs.Export.histo_summary collector);
-  (match trace with
-  | Some path ->
-      Tstm_obs.Export.write_chrome_trace ~path collector;
-      Printf.printf "(trace written to %s)\n" path
-  | None -> ());
-  (match metrics_csv with
-  | Some path ->
-      Tstm_obs.Metrics.write ~path metrics;
-      Printf.printf "(metrics CSV written to %s)\n" path
-  | None -> ());
-  (match top_contended with
-  | Some n -> print_string (Tstm_obs.Export.top_contended ~n collector)
-  | None -> ());
-  print_newline ()
+  match Cli.eval_point ~jobs point with
+  | Error reason ->
+      Printf.eprintf "observed run failed: %s\n" reason;
+      false
+  | Ok o ->
+      let collector = Option.get o.Job.collector in
+      Format.printf "%a@." W.pp_result o.Job.result;
+      print_string (Tstm_obs.Export.histo_summary collector);
+      (match trace with
+      | Some path ->
+          Tstm_obs.Export.write_chrome_trace ~path collector;
+          Printf.printf "(trace written to %s)\n" path
+      | None -> ());
+      (match metrics_csv with
+      | Some path ->
+          Tstm_obs.Metrics.write ~path (Option.get o.Job.metrics);
+          Printf.printf "(metrics CSV written to %s)\n" path
+      | None -> ());
+      (match top_contended with
+      | Some n -> print_string (Tstm_obs.Export.top_contended ~n collector)
+      | None -> ());
+      print_newline ();
+      true
 
 (* ------------------------------------------------------------------ *)
-(* Figures                                                             *)
+(* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let run_figures profile figs =
-  List.iter
-    (fun n ->
-      Printf.printf "--- Figure %d: %s [%s profile] ---\n%!" n
-        (Tstm_harness.Figures.describe n)
-        profile.Tstm_harness.Figures.label;
-      let t0 = Unix.gettimeofday () in
-      let outputs = Tstm_harness.Figures.run_figure profile n in
-      List.iter Tstm_harness.Figures.print_output outputs;
-      Printf.printf "(figure %d done in %.1fs)\n\n%!" n
-        (Unix.gettimeofday () -. t0))
-    figs
+let fig_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fig" ] ~docv:"N" ~doc:"Run one paper figure (2-12).")
+
+let micro_flag =
+  Arg.(value & flag & info [ "micro" ] ~doc:"Bechamel microbenchmarks only.")
+
+let ablation_flag =
+  Arg.(
+    value & flag
+    & info [ "ablation" ] ~doc:"Cost-model ablation sweep only.")
+
+let main profile full jobs fig micro ablation trace metrics_csv top_contended =
+  let profile = if full then F.full else profile in
+  let observing =
+    trace <> None || metrics_csv <> None || top_contended <> None
+  in
+  let ok =
+    if observing then run_observed ~jobs ~trace ~metrics_csv ~top_contended
+    else if micro then begin
+      run_micro ();
+      true
+    end
+    else if ablation then Cli.run_ablation ~jobs ()
+    else
+      match fig with
+      | Some n ->
+          if List.mem n F.fig_numbers then Cli.run_figures ~jobs ~profile [ n ]
+          else begin
+            Printf.eprintf "no figure %d (valid: 2-12)\n" n;
+            false
+          end
+      | None ->
+          run_micro ();
+          let ok_abl = Cli.run_ablation ~jobs () in
+          let ok_figs = Cli.run_figures ~jobs ~profile F.fig_numbers in
+          ok_abl && ok_figs
+  in
+  if ok then 0 else 1
 
 let () =
-  let args = Array.to_list Sys.argv in
-  let full = List.mem "--full" args in
-  let profile =
-    if full then Tstm_harness.Figures.full else Tstm_harness.Figures.quick
+  let doc = "TinySTM (PPoPP'08) reproduction: microbenchmarks and figures" in
+  let info = Cmd.info "main" ~doc in
+  let term =
+    Term.(
+      const main $ Cli.profile_arg $ Cli.full_flag $ Cli.jobs_arg $ fig_arg
+      $ micro_flag $ ablation_flag $ Cli.trace_arg $ Cli.metrics_csv_arg
+      $ Cli.top_contended_arg)
   in
-  let rec fig_arg = function
-    | "--fig" :: n :: _ -> Some (int_of_string n)
-    | _ :: rest -> fig_arg rest
-    | [] -> None
-  in
-  let rec opt_after flag = function
-    | f :: v :: _ when f = flag -> Some v
-    | _ :: rest -> opt_after flag rest
-    | [] -> None
-  in
-  let trace = opt_after "--trace" args in
-  let metrics_csv = opt_after "--metrics-csv" args in
-  let top_contended =
-    Option.map int_of_string (opt_after "--top-contended" args)
-  in
-  if trace <> None || metrics_csv <> None || top_contended <> None then
-    run_observed ~trace ~metrics_csv ~top_contended
-  else if List.mem "--micro" args then run_micro ()
-  else if List.mem "--ablation" args then run_ablation ()
-  else
-    match fig_arg args with
-    | Some n -> run_figures profile [ n ]
-    | None ->
-        run_micro ();
-        run_ablation ();
-        run_figures profile Tstm_harness.Figures.fig_numbers
+  exit (Cmd.eval' (Cmd.v info term))

@@ -1,73 +1,23 @@
 (* Command-line entry point: regenerate paper figures or run individual
-   experiment points on the simulated multicore runtime. *)
+   experiment points on the simulated multicore runtime.
+
+   Every simulated sweep (figures, parameter sweeps, stress seeds) is
+   decomposed into Tstm_exec jobs and evaluated on a multi-process pool:
+   `--jobs N` forks N workers, and because results merge in plan order,
+   stdout is byte-identical for any N. *)
 
 open Cmdliner
 module F = Tstm_harness.Figures
 module W = Tstm_harness.Workload
 module S = Tstm_harness.Scenario
 module San = Tstm_san.San
-
-let san_arg =
-  Arg.(
-    value & flag
-    & info [ "san" ]
-        ~doc:
-          "Arm the happens-before sanitizer: shadow every simulated word and \
-           lock slot, check the run for races, lock-discipline and \
-           clock-discipline violations, and fail on any finding.")
+module Cli = Tstm_exec.Cli
+module Job = Tstm_exec.Job
+module Plan = Tstm_exec.Plan
 
 let print_san_findings fs =
   Printf.printf "\nsanitizer findings (%d):\n" (List.length fs);
   List.iter (fun f -> Printf.printf "  %s\n" (San.render f)) fs
-
-let profile_arg =
-  let profile_enum = Arg.enum [ ("quick", F.quick); ("full", F.full) ] in
-  Arg.(
-    value
-    & opt profile_enum F.quick
-    & info [ "p"; "profile" ] ~docv:"PROFILE"
-        ~doc:"Experiment scale: $(b,quick) (smoke) or $(b,full) (paper-size).")
-
-let csv_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "csv" ] ~docv:"DIR"
-        ~doc:"Also write each table/surface as a CSV file into $(docv).")
-
-let sanitize name =
-  String.map
-    (fun c ->
-      match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
-      | _ -> '_')
-    name
-
-let save_csv dir (o : F.output) =
-  let name, contents =
-    match o with
-    | F.Table t -> (t.Tstm_util.Series.title, Tstm_util.Series.table_to_csv t)
-    | F.Surface s ->
-        (s.Tstm_util.Series.s_title, Tstm_util.Series.surface_to_csv s)
-  in
-  let path = Filename.concat dir (sanitize name ^ ".csv") in
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
-
-let run_and_print ?csv profile n =
-  Printf.printf "--- Figure %d: %s [%s profile] ---\n%!" n (F.describe n)
-    profile.F.label;
-  let t0 = Unix.gettimeofday () in
-  let outputs = F.run_figure profile n in
-  List.iter F.print_output outputs;
-  (match csv with
-  | Some dir ->
-      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-      List.iter (save_csv dir) outputs;
-      Printf.printf "(CSV written to %s/)\n" dir
-  | None -> ());
-  Printf.printf "(figure %d done in %.1fs)\n\n%!" n (Unix.gettimeofday () -. t0)
 
 let fig_cmd =
   let fig_n =
@@ -76,17 +26,22 @@ let fig_cmd =
       & pos 0 (some int) None
       & info [] ~docv:"N" ~doc:"Figure number (2-12).")
   in
-  let run profile csv n =
-    if List.mem n F.fig_numbers then (run_and_print ?csv profile n; `Ok ())
+  let run profile csv jobs n =
+    if List.mem n F.fig_numbers then
+      if Cli.run_figures ?csv ~jobs ~profile [ n ] then `Ok ()
+      else `Error (false, Printf.sprintf "figure %d incomplete" n)
     else `Error (false, Printf.sprintf "no figure %d (valid: 2-12)" n)
   in
   Cmd.v (Cmd.info "fig" ~doc:"Regenerate one paper figure")
-    Term.(ret (const run $ profile_arg $ csv_arg $ fig_n))
+    Term.(
+      ret (const run $ Cli.profile_arg $ Cli.csv_arg $ Cli.jobs_arg $ fig_n))
 
 let all_cmd =
-  let run profile csv = List.iter (run_and_print ?csv profile) F.fig_numbers in
+  let run profile csv jobs =
+    if not (Cli.run_figures ?csv ~jobs ~profile F.fig_numbers) then exit 1
+  in
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every figure (2-12)")
-    Term.(const run $ profile_arg $ csv_arg)
+    Term.(const run $ Cli.profile_arg $ Cli.csv_arg $ Cli.jobs_arg)
 
 let list_cmd =
   let run () =
@@ -94,99 +49,12 @@ let list_cmd =
       (fun n -> Printf.printf "fig %2d  %s\n" n (F.describe n))
       F.fig_numbers
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the reproducible figures") Term.(const run $ const ())
-
-let structure_arg =
-  let sconv =
-    Arg.enum
-      [
-        ("list", W.List);
-        ("rbtree", W.Rbtree);
-        ("skiplist", W.Skiplist);
-        ("hashset", W.Hashset);
-      ]
-  in
-  Arg.(
-    value & opt sconv W.List
-    & info [ "s"; "structure" ] ~docv:"STRUCT"
-        ~doc:"Data structure: list, rbtree, skiplist or hashset.")
-
-let stm_arg =
-  let mconv =
-    Arg.enum [ ("wb", S.Tinystm_wb); ("wt", S.Tinystm_wt); ("tl2", S.Tl2) ]
-  in
-  Arg.(
-    value & opt mconv S.Tinystm_wb
-    & info [ "stm" ] ~docv:"STM" ~doc:"STM: wb, wt or tl2.")
-
-let size_arg =
-  Arg.(value & opt int 256 & info [ "n"; "size" ] ~doc:"Initial structure size.")
-
-let updates_arg =
-  Arg.(value & opt float 20.0 & info [ "u"; "updates" ] ~doc:"Update rate (%).")
-
-let overwrites_arg =
-  Arg.(value & opt float 0.0 & info [ "overwrites" ] ~doc:"Overwrite-transaction rate (%).")
-
-let threads_arg =
-  Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Simulated CPUs.")
-
-let duration_arg =
-  Arg.(
-    value & opt float 0.005
-    & info [ "d"; "duration" ] ~doc:"Measured virtual seconds.")
-
-let locks_exp_arg =
-  Arg.(value & opt int 16 & info [ "locks-exp" ] ~doc:"log2 of the lock-array size.")
-
-let shifts_arg =
-  Arg.(value & opt int 0 & info [ "shifts" ] ~doc:"Address shifts of the lock hash.")
-
-let hierarchy_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "hierarchy" ] ~doc:"Hierarchical array size (1 = disabled).")
-
-let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.")
-
-let trace_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE"
-        ~doc:
-          "Record the run and write a Chrome trace-event JSON to $(docv) \
-           (loadable in Perfetto or chrome://tracing).")
-
-let metrics_csv_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "metrics-csv" ] ~docv:"FILE"
-        ~doc:
-          "Record the run and write per-measurement-period metrics (one CSV \
-           row per period) to $(docv).")
-
-let top_contended_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "top-contended" ] ~docv:"N"
-        ~doc:
-          "Record the run and print the $(docv) most contended cache lines, \
-           split into true conflicts and false sharing.")
-
-let periods_arg =
-  Arg.(
-    value & opt int 10
-    & info [ "periods" ]
-        ~doc:
-          "Measurement periods for observed runs (duration is split evenly; \
-           only used with --trace/--metrics-csv/--top-contended).")
+  Cmd.v (Cmd.info "list" ~doc:"List the reproducible figures")
+    Term.(const run $ const ())
 
 let run_cmd =
   let run structure stm size updates overwrites threads duration locks_exp
-      shifts hierarchy seed trace metrics_csv top_contended periods san =
+      shifts hierarchy seed trace metrics_csv top_contended periods san jobs =
     let spec =
       W.make ~structure ~initial_size:size ~update_pct:updates
         ~overwrite_pct:overwrites ~nthreads:threads ~duration ~seed ()
@@ -194,55 +62,59 @@ let run_cmd =
     let observing =
       trace <> None || metrics_csv <> None || top_contended <> None
     in
-    let body () =
-      if not observing then
-        S.run_intset ~stm ~n_locks:(1 lsl locks_exp) ~shifts ~hierarchy spec
-      else begin
-        let n_periods = max 1 periods in
-        let period = duration /. float_of_int n_periods in
-        let r, collector, metrics =
-          S.run_intset_observed ~stm ~n_locks:(1 lsl locks_exp) ~shifts
-            ~hierarchy ~period ~n_periods spec
-        in
+    let point =
+      {
+        Job.p_stm = stm;
+        p_spec = spec;
+        p_n_locks = 1 lsl locks_exp;
+        p_shifts = shifts;
+        p_hierarchy = hierarchy;
+        p_periods = max 1 periods;
+        p_observe = observing;
+        p_san = san;
+      }
+    in
+    match Cli.eval_point ~jobs point with
+    | Error reason ->
+        Printf.eprintf "run failed: %s\n" reason;
+        exit 1
+    | Ok o ->
         (match trace with
         | Some path ->
-            Tstm_obs.Export.write_chrome_trace ~path collector;
+            Tstm_obs.Export.write_chrome_trace ~path
+              (Option.get o.Job.collector);
             Printf.printf "(trace written to %s)\n" path
         | None -> ());
         (match metrics_csv with
         | Some path ->
-            Tstm_obs.Metrics.write ~path metrics;
+            Tstm_obs.Metrics.write ~path (Option.get o.Job.metrics);
             Printf.printf "(metrics CSV written to %s)\n" path
         | None -> ());
         (match top_contended with
-        | Some n -> print_string (Tstm_obs.Export.top_contended ~n collector)
+        | Some n ->
+            print_string
+              (Tstm_obs.Export.top_contended ~n (Option.get o.Job.collector))
         | None -> ());
-        r
-      end
-    in
-    let r, findings =
-      if san then San.with_armed ~ncpus:(max 1 threads) body
-      else (body (), [])
-    in
-    Format.printf "%s %s size=%d updates=%.0f%% threads=%d: %a@."
-      (S.stm_label stm)
-      (W.structure_to_string structure)
-      size updates threads W.pp_result r;
-    Format.printf "  stats: %a@." Tstm_tm.Tm_stats.pp r.W.stats;
-    if san then begin
-      Printf.printf "  san: %s\n" (San.summary ());
-      if findings <> [] then begin
-        print_san_findings findings;
-        exit 1
-      end
-    end
+        Format.printf "%s %s size=%d updates=%.0f%% threads=%d: %a@."
+          (S.stm_label stm)
+          (W.structure_to_string structure)
+          size updates threads W.pp_result o.Job.result;
+        Format.printf "  stats: %a@." Tstm_tm.Tm_stats.pp o.Job.result.W.stats;
+        if san then begin
+          Printf.printf "  san: %s\n" o.Job.san_summary;
+          if o.Job.san_findings <> [] then begin
+            print_san_findings o.Job.san_findings;
+            exit 1
+          end
+        end
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a single experiment point")
     Term.(
-      const run $ structure_arg $ stm_arg $ size_arg $ updates_arg
-      $ overwrites_arg $ threads_arg $ duration_arg $ locks_exp_arg
-      $ shifts_arg $ hierarchy_arg $ seed_arg $ trace_arg $ metrics_csv_arg
-      $ top_contended_arg $ periods_arg $ san_arg)
+      const run $ Cli.structure_arg $ Cli.stm_arg $ Cli.size_arg
+      $ Cli.updates_arg $ Cli.overwrites_arg $ Cli.threads_arg
+      $ Cli.duration_arg $ Cli.locks_exp_arg $ Cli.shifts_arg
+      $ Cli.hierarchy_arg $ Cli.seed_arg $ Cli.trace_arg $ Cli.metrics_csv_arg
+      $ Cli.top_contended_arg $ Cli.periods_arg $ Cli.san_arg $ Cli.jobs_arg)
 
 let sweep_cmd =
   let axis_conv =
@@ -272,7 +144,7 @@ let sweep_cmd =
       & info [] ~docv:"VALUES" ~doc:"Comma-separated axis values.")
   in
   let run structure stm size updates threads duration locks_exp shifts
-      hierarchy seed csv axis values =
+      hierarchy seed csv jobs axis values =
     let point v =
       let i = int_of_float v in
       let size = if axis = `Size then i else size in
@@ -285,9 +157,26 @@ let sweep_cmd =
         W.make ~structure ~initial_size:size ~update_pct:updates
           ~nthreads:threads ~duration ~seed ()
       in
-      S.run_intset ~stm ~n_locks:(1 lsl locks_exp) ~shifts ~hierarchy spec
+      {
+        Job.p_stm = stm;
+        p_spec = spec;
+        p_n_locks = 1 lsl locks_exp;
+        p_shifts = shifts;
+        p_hierarchy = hierarchy;
+        p_periods = 1;
+        p_observe = false;
+        p_san = false;
+      }
     in
-    let results = List.map point values in
+    let outcomes = Cli.eval_points ~jobs (List.map point values) in
+    if Array.exists (fun o -> o = None) outcomes then begin
+      Printf.eprintf "sweep incomplete: some points failed\n";
+      exit 1
+    end;
+    let results =
+      Array.to_list
+        (Array.map (fun o -> (Option.get o).Job.result) outcomes)
+    in
     let axis_label =
       match axis with
       | `Locks -> "log2(#locks)"
@@ -318,21 +207,22 @@ let sweep_cmd =
     Tstm_util.Series.print_table table;
     match csv with
     | Some dir ->
-        (try Unix.mkdir dir 0o755
-         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-        save_csv dir (F.Table table)
+        Cli.ensure_dir dir;
+        Cli.save_csv dir (F.Table table)
     | None -> ()
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep one tuning/workload axis and tabulate")
     Term.(
-      const run $ structure_arg $ stm_arg $ size_arg $ updates_arg
-      $ threads_arg $ duration_arg $ locks_exp_arg $ shifts_arg
-      $ hierarchy_arg $ seed_arg $ csv_arg $ axis_arg $ values_arg)
+      const run $ Cli.structure_arg $ Cli.stm_arg $ Cli.size_arg
+      $ Cli.updates_arg $ Cli.threads_arg $ Cli.duration_arg
+      $ Cli.locks_exp_arg $ Cli.shifts_arg $ Cli.hierarchy_arg $ Cli.seed_arg
+      $ Cli.csv_arg $ Cli.jobs_arg $ axis_arg $ values_arg)
 
 let tune_cmd =
   let steps_arg =
-    Arg.(value & opt int 15 & info [ "steps" ] ~doc:"Tuning configuration steps.")
+    Arg.(
+      value & opt int 15 & info [ "steps" ] ~doc:"Tuning configuration steps.")
   in
   let period_arg =
     Arg.(
@@ -356,8 +246,8 @@ let tune_cmd =
   in
   Cmd.v (Cmd.info "tune" ~doc:"Run the dynamic tuner and print its path")
     Term.(
-      const run $ structure_arg $ size_arg $ updates_arg $ threads_arg
-      $ steps_arg $ period_arg $ seed_arg)
+      const run $ Cli.structure_arg $ Cli.size_arg $ Cli.updates_arg
+      $ Cli.threads_arg $ steps_arg $ period_arg $ Cli.seed_arg)
 
 let stress_cmd =
   let module St = Tstm_harness.Stress in
@@ -376,11 +266,11 @@ let stress_cmd =
             "Replay a single chaos seed instead of sweeping (prints the \
              per-run detail; combine with --sites for a shrunk schedule).")
   in
-  let all_flag label doc_ =
-    Arg.(value & flag & info [ label ] ~doc:doc_)
-  in
+  let all_flag label doc_ = Arg.(value & flag & info [ label ] ~doc:doc_) in
   let threads_arg =
-    Arg.(value & opt int St.default.St.nthreads & info [ "t"; "threads" ] ~doc:"Simulated CPUs.")
+    Arg.(
+      value & opt int St.default.St.nthreads
+      & info [ "t"; "threads" ] ~doc:"Simulated CPUs.")
   in
   let ops_arg =
     Arg.(
@@ -430,25 +320,26 @@ let stress_cmd =
             "Arm a deliberate protocol bug (skip-extension, skip-validation) \
              to demonstrate the checker catches it.")
   in
-  let print_report spec (r : St.report) =
+  let print_report (spec : St.spec) (r : St.report) =
     Printf.printf
       "%s %s seed=%d: %d ops checked, %d commits, %d aborts, %d escalations, \
        %d/%d injections fired -> %s\n"
-      (St.stm_code spec.St.stm)
+      spec.St.stm
       (W.structure_to_string spec.St.structure)
       spec.St.seed r.St.events r.St.commits r.St.aborts r.St.escalations
       r.St.injected r.St.decisions
       (match (r.St.violation, r.St.san_findings) with
       | Some _, _ -> "VIOLATION"
       | None, _ :: _ -> "SANITIZER FINDING"
-      | None, [] -> if spec.St.san then "serializable, san-clean" else "serializable")
+      | None, [] ->
+          if spec.St.san then "serializable, san-clean" else "serializable")
   in
   let report_failure spec (r : St.report) =
     (match r.St.violation with
     | Some msg -> Printf.printf "\nserializability violation:\n%s\n" msg
     | None -> ());
     if r.St.san_findings <> [] then print_san_findings r.St.san_findings;
-    (match St.shrink spec r with
+    match St.shrink spec r with
     | Some { St.limit; report = _ } ->
         let shrunk = { spec with St.site_limit = Some limit } in
         Printf.printf
@@ -458,10 +349,10 @@ let stress_cmd =
           r.St.injected
           (St.repro_command shrunk)
     | None ->
-        Printf.printf "could not shrink; repro: %s\n" (St.repro_command spec))
+        Printf.printf "could not shrink; repro: %s\n" (St.repro_command spec)
   in
   let run stm all_stms structure all_structures seeds seed threads ops
-      key_range max_retries sites window bug san =
+      key_range max_retries sites window bug san jobs =
     let base =
       {
         St.default with
@@ -484,7 +375,8 @@ let stress_cmd =
     in
     match seed with
     | Some seed ->
-        (* Replay mode: one seed, full detail per run. *)
+        (* Replay mode: one seed, full detail per run, always sequential
+           (shrinking re-executes interactively anyway). *)
         let failed = ref false in
         List.iter
           (fun stm ->
@@ -501,7 +393,30 @@ let stress_cmd =
           stms;
         if !failed then exit 1
     | None -> (
-        let sw = St.sweep ~seeds ~stms ~structures base in
+        let specs = St.plan ~seeds ~stms ~structures base in
+        let plan = Array.map (fun s -> Job.Stress_run s) specs in
+        let res = Cli.execute ~jobs plan in
+        (* Summarize the prefix up to the first permanently-failed job: a
+           sequential sweep past that point is unknowable, so the verdict
+           only counts runs it would provably have reached. *)
+        let n = Array.length specs in
+        let complete =
+          let rec go i =
+            if i >= n then n
+            else
+              match res.Plan.outcomes.(i) with
+              | None -> i
+              | Some _ -> go (i + 1)
+          in
+          go 0
+        in
+        let pairs =
+          Array.init complete (fun i ->
+              match res.Plan.outcomes.(i) with
+              | Some (Job.Stress_report r) -> (specs.(i), r)
+              | _ -> assert false)
+        in
+        let sw = St.summarize pairs in
         Printf.printf
           "stress: %d runs (%d seeds x %d stm x %d structures), %d ops \
            checked, %d injections, %d commits, %d aborts, %d escalations\n"
@@ -510,14 +425,20 @@ let stress_cmd =
           sw.St.total_events sw.St.total_injected sw.St.total_commits
           sw.St.total_aborts sw.St.total_escalations;
         match sw.St.first_failure with
-        | None ->
-            Printf.printf "zero %s\n"
-              (if san then "serializability violations or sanitizer findings"
-               else "serializability violations")
         | Some (spec, r) ->
             print_report spec r;
             report_failure spec r;
-            exit 1)
+            exit 1
+        | None ->
+            if complete < n then begin
+              Printf.eprintf
+                "sweep inconclusive: run %d of %d never produced a report\n"
+                (complete + 1) n;
+              exit 1
+            end;
+            Printf.printf "zero %s\n"
+              (if san then "serializability violations or sanitizer findings"
+               else "serializability violations"))
   in
   Cmd.v
     (Cmd.info "stress"
@@ -525,13 +446,15 @@ let stress_cmd =
          "Chaos stress: sweep seeded schedule perturbations and check every \
           history for serializability")
     Term.(
-      const run $ stm_arg
-      $ all_flag "all-stms" "Stress wb, wt and tl2 (overrides --stm)."
-      $ structure_arg
+      const run $ Cli.stm_arg
+      $ all_flag "all-stms"
+          "Stress tinystm-wb, tinystm-wt and tl2 (overrides --stm)."
+      $ Cli.structure_arg
       $ all_flag "all-structures"
           "Stress list, rbtree, skiplist and hashset (overrides --structure)."
       $ seeds_arg $ seed_arg $ threads_arg $ ops_arg $ key_range_arg
-      $ max_retries_arg $ sites_arg $ window_arg $ bug_arg $ san_arg)
+      $ max_retries_arg $ sites_arg $ window_arg $ bug_arg $ Cli.san_arg
+      $ Cli.jobs_arg)
 
 let () =
   let doc = "TinySTM (PPoPP'08) reproduction: figures and experiments" in
@@ -539,4 +462,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ fig_cmd; all_cmd; list_cmd; run_cmd; sweep_cmd; tune_cmd; stress_cmd ]))
+          [
+            fig_cmd; all_cmd; list_cmd; run_cmd; sweep_cmd; tune_cmd; stress_cmd;
+          ]))

@@ -1,0 +1,330 @@
+(* Shared CLI surface for bench/main.exe and bin/repro.exe: one set of
+   cmdliner terms (so the two binaries cannot drift) and the drivers that
+   route figures, ablation sweeps and single points through the job
+   planner and the multi-process pool.
+
+   Output discipline: everything deterministic goes to stdout (figure
+   headers, tables, CSV notes), everything scheduling-dependent — progress
+   lines, wall-clock timings, the sweep summary — goes to stderr.  That is
+   what makes `--jobs 1` and `--jobs N` byte-identical on stdout. *)
+
+open Cmdliner
+module F = Tstm_harness.Figures
+module W = Tstm_harness.Workload
+module Registry = Tstm_tm.Registry
+module Progress = Tstm_obs.Progress
+
+(* ------------------------------------------------------------------ *)
+(* Shared flag terms                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let profile_arg =
+  let profile_enum = Arg.enum [ ("quick", F.quick); ("full", F.full) ] in
+  Arg.(
+    value
+    & opt profile_enum F.quick
+    & info [ "p"; "profile" ] ~docv:"PROFILE"
+        ~doc:"Experiment scale: $(b,quick) (smoke) or $(b,full) (paper-size).")
+
+let full_flag =
+  Arg.(
+    value & flag
+    & info [ "full" ]
+        ~doc:"Shorthand for $(b,--profile full): paper-size experiments.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluate simulated runs on $(docv) worker processes.  Results \
+           are merged in plan order, so stdout is byte-identical for any \
+           $(docv).")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR"
+        ~doc:"Also write each table/surface as a CSV file into $(docv).")
+
+let san_arg =
+  Arg.(
+    value & flag
+    & info [ "san" ]
+        ~doc:
+          "Arm the happens-before sanitizer: shadow every simulated word and \
+           lock slot, check the run for races, lock-discipline and \
+           clock-discipline violations, and fail on any finding.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the run and write a Chrome trace-event JSON to $(docv) \
+           (loadable in Perfetto or chrome://tracing).")
+
+let metrics_csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-csv" ] ~docv:"FILE"
+        ~doc:
+          "Record the run and write per-measurement-period metrics (one CSV \
+           row per period) to $(docv).")
+
+let top_contended_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "top-contended" ] ~docv:"N"
+        ~doc:
+          "Record the run and print the $(docv) most contended cache lines, \
+           split into true conflicts and false sharing.")
+
+let periods_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "periods" ]
+        ~doc:
+          "Measurement periods for observed runs (duration is split evenly; \
+           only used with --trace/--metrics-csv/--top-contended).")
+
+let structure_arg =
+  let sconv =
+    Arg.enum
+      [
+        ("list", W.List);
+        ("rbtree", W.Rbtree);
+        ("skiplist", W.Skiplist);
+        ("hashset", W.Hashset);
+      ]
+  in
+  Arg.(
+    value & opt sconv W.List
+    & info [ "s"; "structure" ] ~docv:"STRUCT"
+        ~doc:"Data structure: list, rbtree, skiplist or hashset.")
+
+(* STM names resolve through the registry, so the flag accepts exactly the
+   set of packaged implementations (canonical names and aliases) and a typo
+   lists them. *)
+let stm_conv =
+  let parse s =
+    if Registry.mem s then Ok (Registry.canonical s)
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "unknown STM %S (known: %s)" s
+              (String.concat ", " (Registry.names ()))))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let stm_arg =
+  Arg.(
+    value
+    & opt stm_conv "tinystm-wb"
+    & info [ "stm" ] ~docv:"STM"
+        ~doc:"STM implementation: tinystm-wb (wb), tinystm-wt (wt) or tl2.")
+
+let size_arg =
+  Arg.(value & opt int 256 & info [ "n"; "size" ] ~doc:"Initial structure size.")
+
+let updates_arg =
+  Arg.(value & opt float 20.0 & info [ "u"; "updates" ] ~doc:"Update rate (%).")
+
+let overwrites_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "overwrites" ] ~doc:"Overwrite-transaction rate (%).")
+
+let threads_arg =
+  Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Simulated CPUs.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 0.005
+    & info [ "d"; "duration" ] ~doc:"Measured virtual seconds.")
+
+let locks_exp_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "locks-exp" ] ~doc:"log2 of the lock-array size.")
+
+let shifts_arg =
+  Arg.(
+    value & opt int 0 & info [ "shifts" ] ~doc:"Address shifts of the lock hash.")
+
+let hierarchy_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "hierarchy" ] ~doc:"Hierarchical array size (1 = disabled).")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.")
+
+(* ------------------------------------------------------------------ *)
+(* Pooled execution with stderr progress                               *)
+(* ------------------------------------------------------------------ *)
+
+let report_progress (p : Pool.progress) =
+  match p.Pool.status with
+  | Progress.Started -> ()
+  | status ->
+      prerr_string
+        (Progress.job_line ~rank:p.Pool.rank ~total:p.Pool.total
+           ~attempt:p.Pool.attempt ~status ~elapsed:p.Pool.elapsed
+           p.Pool.label
+        ^ "\n");
+      flush stderr
+
+let report_failures failures =
+  List.iter
+    (fun (job, (f : Pool.failure)) ->
+      prerr_string
+        (Printf.sprintf "FAILED %s: %s (%d attempt%s)\n" (Job.label job)
+           f.Pool.reason f.Pool.attempts
+           (if f.Pool.attempts = 1 then "" else "s")))
+    failures;
+  flush stderr
+
+let execute ?(jobs = 1) ?timeout ?retries ?sabotage (plan : Plan.t) =
+  let t0 = Unix.gettimeofday () in
+  let res =
+    Plan.execute ~jobs ?timeout ?retries ~on_progress:report_progress
+      ?sabotage plan
+  in
+  prerr_string
+    (Progress.sweep_line ~jobs:(Array.length plan) ~workers:jobs
+       ~failed:(List.length res.Plan.failures)
+       ~elapsed:(Unix.gettimeofday () -. t0)
+    ^ "\n");
+  flush stderr;
+  report_failures res.Plan.failures;
+  res
+
+(* ------------------------------------------------------------------ *)
+(* CSV output                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    name
+
+let save_csv dir (o : F.output) =
+  let name, contents =
+    match o with
+    | F.Table t -> (t.Tstm_util.Series.title, Tstm_util.Series.table_to_csv t)
+    | F.Surface s ->
+        (s.Tstm_util.Series.s_title, Tstm_util.Series.surface_to_csv s)
+  in
+  let path = Filename.concat dir (sanitize name ^ ".csv") in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let ensure_dir dir =
+  try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Figures driver                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_figures ?csv ?(jobs = 1) ~profile ns =
+  let plans = List.map (fun n -> (n, F.plan profile n)) ns in
+  let plan =
+    Array.concat
+      (List.map
+         (fun (n, cells) ->
+           Array.map (fun cell -> Job.Figure_cell { fig = n; cell }) cells)
+         plans)
+  in
+  let res = execute ~jobs plan in
+  let cursor = ref 0 in
+  List.iter
+    (fun (n, cells) ->
+      let k = Array.length cells in
+      let slice = Array.sub res.Plan.outcomes !cursor k in
+      cursor := !cursor + k;
+      print_string
+        (Printf.sprintf "--- Figure %d: %s [%s profile] ---\n" n (F.describe n)
+           profile.F.label);
+      let missing =
+        Array.fold_left
+          (fun acc o -> if o = None then acc + 1 else acc)
+          0 slice
+      in
+      if missing = 0 then begin
+        let values =
+          Array.map
+            (function
+              | Some (Job.Cell_value v) -> v
+              | _ -> invalid_arg "Cli.run_figures: non-cell outcome")
+            slice
+        in
+        let outputs = F.assemble profile n values in
+        List.iter F.print_output outputs;
+        match csv with
+        | Some dir ->
+            ensure_dir dir;
+            List.iter (save_csv dir) outputs;
+            print_string (Printf.sprintf "(CSV written to %s/)\n\n" dir)
+        | None -> print_newline ()
+      end
+      else
+        print_string
+          (Printf.sprintf "(figure %d incomplete: %d of %d cells failed)\n\n" n
+             missing k))
+    plans;
+  flush stdout;
+  Plan.ok res
+
+(* ------------------------------------------------------------------ *)
+(* Ablation driver                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation ?(jobs = 1) () =
+  let plan = Plan.ablation () in
+  let res = execute ~jobs plan in
+  print_string (Tstm_harness.Ablation.header ^ "\n");
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Some (Job.Ablation_row row) ->
+          print_string (Tstm_harness.Ablation.render row ^ "\n")
+      | Some _ -> invalid_arg "Cli.run_ablation: non-ablation outcome"
+      | None ->
+          print_string
+            (Printf.sprintf "(point failed: %s)\n" (Job.label plan.(i))))
+    res.Plan.outcomes;
+  print_newline ();
+  flush stdout;
+  Plan.ok res
+
+(* ------------------------------------------------------------------ *)
+(* Single points                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let eval_point ?(jobs = 1) p =
+  let res = execute ~jobs (Plan.point p) in
+  match res.Plan.outcomes.(0) with
+  | Some (Job.Point_outcome o) -> Ok o
+  | Some _ -> invalid_arg "Cli.eval_point: non-point outcome"
+  | None -> (
+      match res.Plan.failures with
+      | (_, f) :: _ -> Error f.Pool.reason
+      | [] -> Error "job produced no outcome")
+
+let eval_points ?(jobs = 1) points =
+  let plan = Array.of_list (List.map (fun p -> Job.Point p) points) in
+  let res = execute ~jobs plan in
+  Array.map
+    (function
+      | Some (Job.Point_outcome o) -> Some o
+      | Some _ -> invalid_arg "Cli.eval_points: non-point outcome"
+      | None -> None)
+    res.Plan.outcomes

@@ -1,0 +1,87 @@
+(** Shared CLI surface for [bench/main.exe] and [bin/repro.exe]: the
+    cmdliner flag terms both binaries parse (so they cannot drift) and the
+    drivers that route figures, the ablation sweep and single experiment
+    points through the job planner and the multi-process pool.
+
+    Output discipline: deterministic content (figure headers, tables, CSV
+    notes) goes to stdout; scheduling-dependent content (progress lines,
+    timings, sweep summaries, failure reports) goes to stderr.  stdout is
+    therefore byte-identical for any [--jobs] value. *)
+
+(** {1 Flag terms} *)
+
+val profile_arg : Tstm_harness.Figures.profile Cmdliner.Term.t
+(** [--profile quick|full]. *)
+
+val full_flag : bool Cmdliner.Term.t
+(** [--full], shorthand for [--profile full] (bench compatibility). *)
+
+val jobs_arg : int Cmdliner.Term.t
+(** [--jobs N] (default 1). *)
+
+val csv_arg : string option Cmdliner.Term.t
+val san_arg : bool Cmdliner.Term.t
+val trace_arg : string option Cmdliner.Term.t
+val metrics_csv_arg : string option Cmdliner.Term.t
+val top_contended_arg : int option Cmdliner.Term.t
+val periods_arg : int Cmdliner.Term.t
+val structure_arg : Tstm_harness.Workload.structure Cmdliner.Term.t
+
+val stm_arg : string Cmdliner.Term.t
+(** Resolves through {!Tstm_tm.Registry} (names and aliases) to the
+    canonical name; unknown values list the registered STMs. *)
+
+val size_arg : int Cmdliner.Term.t
+val updates_arg : float Cmdliner.Term.t
+val overwrites_arg : float Cmdliner.Term.t
+val threads_arg : int Cmdliner.Term.t
+val duration_arg : float Cmdliner.Term.t
+val locks_exp_arg : int Cmdliner.Term.t
+val shifts_arg : int Cmdliner.Term.t
+val hierarchy_arg : int Cmdliner.Term.t
+val seed_arg : int Cmdliner.Term.t
+
+(** {1 Pooled execution} *)
+
+val execute :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?sabotage:(rank:int -> attempt:int -> bool) ->
+  Plan.t ->
+  Plan.result
+(** {!Plan.execute} with progress lines, a sweep summary and failure
+    reports on stderr. *)
+
+(** {1 CSV output} *)
+
+val save_csv : string -> Tstm_harness.Figures.output -> unit
+(** Write one table/surface as [DIR/<sanitized title>.csv]. *)
+
+val ensure_dir : string -> unit
+
+(** {1 Drivers} *)
+
+val run_figures :
+  ?csv:string ->
+  ?jobs:int ->
+  profile:Tstm_harness.Figures.profile ->
+  int list ->
+  bool
+(** Plan the given figures, evaluate all cells on the pool, assemble and
+    print each figure in order (CSV per figure under [csv]).  Returns
+    [false] — with an incomplete-figure note in place of the missing
+    tables — when any cell failed permanently. *)
+
+val run_ablation : ?jobs:int -> unit -> bool
+(** The standard cost-model ablation sweep, pooled and printed in plan
+    order. *)
+
+val eval_point :
+  ?jobs:int -> Job.point -> (Job.point_outcome, string) result
+(** Evaluate one experiment point through the planner (rendering is left
+    to the caller — bench and repro print different summaries). *)
+
+val eval_points : ?jobs:int -> Job.point list -> Job.point_outcome option array
+(** Evaluate a list of points (the `repro sweep` shape), outcomes in plan
+    order; [None] where a point failed permanently. *)

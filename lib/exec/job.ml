@@ -1,0 +1,92 @@
+(* The unified experiment-job model: one [t] is a pure, serializable
+   description of one simulated run, and [run] is its single evaluator —
+   the only function a pool worker calls.  Everything a figure, the
+   ablation sweep, a stress sweep or a single CLI point needs is a value
+   of this type, so all of them ride the same planner and pool. *)
+
+module F = Tstm_harness.Figures
+module Stress = Tstm_harness.Stress
+module Ablation = Tstm_harness.Ablation
+module Scenario = Tstm_harness.Scenario
+module Workload = Tstm_harness.Workload
+module San = Tstm_san.San
+
+type point = {
+  p_stm : string;
+  p_spec : Workload.spec;
+  p_n_locks : int;
+  p_shifts : int;
+  p_hierarchy : int;
+  p_periods : int;
+  p_observe : bool;
+  p_san : bool;
+}
+
+type t =
+  | Figure_cell of { fig : int; cell : F.cell }
+  | Point of point
+  | Stress_run of Stress.spec
+  | Ablation_point of Ablation.point
+
+type point_outcome = {
+  result : Workload.result;
+  collector : Tstm_obs.Sink.collector option;
+  metrics : Tstm_obs.Metrics.t option;
+  san_findings : San.finding list;
+  san_summary : string;
+}
+
+type outcome =
+  | Cell_value of F.value
+  | Point_outcome of point_outcome
+  | Stress_report of Stress.report
+  | Ablation_row of Ablation.row
+
+let run_point p =
+  let body () =
+    if not p.p_observe then
+      ( Scenario.run_intset ~stm:p.p_stm ~n_locks:p.p_n_locks
+          ~shifts:p.p_shifts ~hierarchy:p.p_hierarchy p.p_spec,
+        None,
+        None )
+    else begin
+      let n_periods = max 1 p.p_periods in
+      let period = p.p_spec.Workload.duration /. float_of_int n_periods in
+      let r, collector, metrics =
+        Scenario.run_intset_observed ~stm:p.p_stm ~n_locks:p.p_n_locks
+          ~shifts:p.p_shifts ~hierarchy:p.p_hierarchy ~period ~n_periods
+          p.p_spec
+      in
+      (r, Some collector, Some metrics)
+    end
+  in
+  let (result, collector, metrics), san_findings =
+    if p.p_san then
+      San.with_armed ~ncpus:(max 1 p.p_spec.Workload.nthreads) body
+    else (body (), [])
+  in
+  let san_summary = if p.p_san then San.summary () else "" in
+  Point_outcome { result; collector; metrics; san_findings; san_summary }
+
+let run = function
+  | Figure_cell { cell; _ } -> Cell_value (F.eval_cell cell)
+  | Point p -> run_point p
+  | Stress_run spec -> Stress_report (Stress.run_one spec)
+  | Ablation_point pt -> Ablation_row (Ablation.run_point pt)
+
+let label = function
+  | Figure_cell { fig; cell } ->
+      Printf.sprintf "fig %d: %s" fig (F.cell_label cell)
+  | Point p ->
+      Printf.sprintf "point %s %s n=%d u=%.0f%% t=%d%s%s" p.p_stm
+        (Workload.structure_to_string p.p_spec.Workload.structure)
+        p.p_spec.Workload.initial_size p.p_spec.Workload.update_pct
+        p.p_spec.Workload.nthreads
+        (if p.p_observe then " observed" else "")
+        (if p.p_san then " san" else "")
+  | Stress_run spec ->
+      Printf.sprintf "stress %s %s seed=%d%s" spec.Stress.stm
+        (Workload.structure_to_string spec.Stress.structure)
+        spec.Stress.seed
+        (if spec.Stress.san then " san" else "")
+  | Ablation_point pt -> Ablation.point_label pt

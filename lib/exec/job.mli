@@ -1,0 +1,51 @@
+(** The unified experiment-job model.
+
+    A {!t} is a pure, serializable description of one simulated run — STM
+    registry name, structure, workload spec, figure cell or stress seed,
+    instrumentation flags — and {!run} is its single evaluator, the only
+    function a {!Pool} worker executes.  Figures 2-12, the ablation sweep,
+    chaos/sanitizer stress sweeps and single CLI points all compile down
+    to jobs, so they all ride the same planner and pool.
+
+    Both {!t} and {!outcome} are closure-free data: jobs reach workers by
+    [Unix.fork] (structure sharing) and outcomes come back through
+    [Marshal]. *)
+
+(** A single experiment point (the `repro run` / `repro sweep` shape). *)
+type point = {
+  p_stm : string;  (** {!Tstm_tm.Registry} name or alias *)
+  p_spec : Tstm_harness.Workload.spec;
+  p_n_locks : int;
+  p_shifts : int;
+  p_hierarchy : int;
+  p_periods : int;  (** measurement periods when observed *)
+  p_observe : bool;  (** record an event collector + per-period metrics *)
+  p_san : bool;  (** arm the happens-before sanitizer *)
+}
+
+type t =
+  | Figure_cell of { fig : int; cell : Tstm_harness.Figures.cell }
+  | Point of point
+  | Stress_run of Tstm_harness.Stress.spec
+  | Ablation_point of Tstm_harness.Ablation.point
+
+type point_outcome = {
+  result : Tstm_harness.Workload.result;
+  collector : Tstm_obs.Sink.collector option;  (** when observed *)
+  metrics : Tstm_obs.Metrics.t option;  (** when observed *)
+  san_findings : Tstm_san.San.finding list;
+  san_summary : string;  (** rendered in the worker; [""] unless san *)
+}
+
+type outcome =
+  | Cell_value of Tstm_harness.Figures.value
+  | Point_outcome of point_outcome
+  | Stress_report of Tstm_harness.Stress.report
+  | Ablation_row of Tstm_harness.Ablation.row
+
+val run : t -> outcome
+(** Evaluate one job on the simulated runtime.  Deterministic: the outcome
+    depends only on the job. *)
+
+val label : t -> string
+(** Short human-readable description (progress lines). *)

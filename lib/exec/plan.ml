@@ -1,0 +1,66 @@
+(* Plans: ordered job lists decomposed from figures, sweeps and points.
+
+   [execute] deduplicates structurally-equal jobs before pooling (e.g.
+   Figs. 11 and 12 share one auto-tune trace; running `all` evaluates it
+   once) and expands the rows back to plan shape afterwards — the merge
+   stays rank-keyed and order-independent. *)
+
+module F = Tstm_harness.Figures
+module Stress = Tstm_harness.Stress
+module Ablation = Tstm_harness.Ablation
+
+type t = Job.t array
+
+let figure profile n =
+  Array.map (fun cell -> Job.Figure_cell { fig = n; cell }) (F.plan profile n)
+
+let figures profile ns = Array.concat (List.map (figure profile) ns)
+
+let stress ~seeds ~stms ~structures base =
+  Array.map
+    (fun spec -> Job.Stress_run spec)
+    (Stress.plan ~seeds ~stms ~structures base)
+
+let ablation () =
+  Array.of_list (List.map (fun p -> Job.Ablation_point p) Ablation.default_points)
+
+let point p = [| Job.Point p |]
+
+type result = {
+  outcomes : Job.outcome option array;
+  failures : (Job.t * Pool.failure) list;
+}
+
+let ok r = r.failures = []
+
+let execute ?jobs ?timeout ?retries ?on_progress ?sabotage (plan : t) =
+  let index : (Job.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let uniq_rev = ref [] in
+  let n_uniq = ref 0 in
+  let assign =
+    Array.map
+      (fun job ->
+        match Hashtbl.find_opt index job with
+        | Some i -> i
+        | None ->
+            let i = !n_uniq in
+            incr n_uniq;
+            Hashtbl.add index job i;
+            uniq_rev := job :: !uniq_rev;
+            i)
+      plan
+  in
+  let uniq = Array.of_list (List.rev !uniq_rev) in
+  let verdict =
+    Pool.map ?jobs ?timeout ?retries ?on_progress ?sabotage
+      ~label:(fun i -> Job.label uniq.(i))
+      (fun i -> Job.run uniq.(i))
+      (Array.length uniq)
+  in
+  {
+    outcomes = Array.map (fun i -> verdict.Pool.rows.(i)) assign;
+    failures =
+      List.map
+        (fun (f : Pool.failure) -> (uniq.(f.Pool.rank), f))
+        verdict.Pool.failures;
+  }

@@ -1,0 +1,50 @@
+(** Plans: ordered job lists decomposed from figures, the ablation sweep,
+    stress sweeps and single points, plus their pooled execution.
+
+    A plan is just a [Job.t array] in presentation order; {!execute} runs
+    it on a {!Pool} and returns outcomes in plan order, so callers
+    reassemble output that is byte-identical regardless of worker count or
+    completion order.  Structurally-equal jobs are evaluated once and
+    shared (Figs. 11 and 12 ride the same auto-tune trace). *)
+
+type t = Job.t array
+
+val figure : Tstm_harness.Figures.profile -> int -> t
+(** The cells of one paper figure, in plan (= assembly) order. *)
+
+val figures : Tstm_harness.Figures.profile -> int list -> t
+(** Concatenated figure plans, in the given order. *)
+
+val stress :
+  seeds:int ->
+  stms:string list ->
+  structures:Tstm_harness.Workload.structure list ->
+  Tstm_harness.Stress.spec ->
+  t
+(** One job per {!Tstm_harness.Stress.plan} spec. *)
+
+val ablation : unit -> t
+(** The standard {!Tstm_harness.Ablation.default_points} sweep. *)
+
+val point : Job.point -> t
+(** A single-job plan. *)
+
+type result = {
+  outcomes : Job.outcome option array;
+      (** plan order; [None] where the job failed permanently *)
+  failures : (Job.t * Pool.failure) list;
+}
+
+val ok : result -> bool
+
+val execute :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?on_progress:(Pool.progress -> unit) ->
+  ?sabotage:(rank:int -> attempt:int -> bool) ->
+  t ->
+  result
+(** Deduplicate, run on a {!Pool.map} with [jobs] workers, expand rows
+    back to plan shape.  Parameters as in {!Pool.map} (progress ranks and
+    totals refer to the deduplicated job list). *)

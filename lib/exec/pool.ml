@@ -1,0 +1,204 @@
+(* Multi-process job pool.
+
+   Workers are forked processes, not domains: every simulated run leans on
+   process-global state (the virtual-time scheduler, `Tap` hooks, the chaos
+   plan, the sanitizer's shadow state), which [Unix.fork] snapshots and
+   isolates for free while domains would share and corrupt it.  Each job
+   gets a fresh fork of the parent (whose global state is pristine — the
+   parent never runs jobs itself), so a job's result is independent of
+   which worker slot ran it, in which order, or after which other jobs:
+   the determinism of the merged output reduces to the determinism of the
+   simulator itself.
+
+   The child evaluates its job, writes one marshalled [('r, string) result]
+   to a pipe and [Unix._exit]s (never [exit]: the child must not flush
+   inherited stdio buffers).  The parent multiplexes pipes with
+   [Unix.select], enforcing a per-job timeout (SIGKILL + requeue), retrying
+   crashed workers within a bounded budget, and failing fast on
+   deterministic in-job exceptions (an [Error] row: retrying re-runs the
+   same deterministic computation, so it cannot help).  Rows land in a
+   rank-indexed array, making the verdict independent of completion
+   order. *)
+
+type progress = {
+  rank : int;
+  total : int;
+  label : string;
+  attempt : int;
+  status : Tstm_obs.Progress.status;
+  elapsed : float;
+}
+
+type failure = { rank : int; attempts : int; reason : string }
+type 'r verdict = { rows : 'r option array; failures : failure list }
+
+let ok v = v.failures = []
+
+type running = {
+  pid : int;
+  rank : int;
+  attempt : int;
+  started : float;
+  deadline : float;
+  fd : Unix.file_descr;
+  ic : in_channel;
+}
+
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else Printf.sprintf "signal %d" s
+
+let default_timeout = 600.0
+
+let map (type r) ?(jobs = 1) ?(timeout = default_timeout) ?(retries = 2)
+    ?(on_progress = fun _ -> ()) ?sabotage ~label (f : int -> r) n :
+    r verdict =
+  if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
+  if n < 0 then invalid_arg "Pool.map: negative job count";
+  let rows : r option array = Array.make n None in
+  let failures = ref [] in
+  let queue = Queue.create () in
+  for rank = 0 to n - 1 do
+    Queue.add (rank, 1) queue
+  done;
+  let running : running list ref = ref [] in
+  let progress r status =
+    on_progress
+      {
+        rank = r.rank;
+        total = n;
+        label = label r.rank;
+        attempt = r.attempt;
+        status;
+        elapsed = Unix.gettimeofday () -. r.started;
+      }
+  in
+  let spawn (rank, attempt) =
+    let fd_r, fd_w = Unix.pipe () in
+    (* Anything buffered on stdio would be duplicated by the fork and
+       flushed once per process. *)
+    flush stdout;
+    flush stderr;
+    on_progress
+      {
+        rank;
+        total = n;
+        label = label rank;
+        attempt;
+        status = Tstm_obs.Progress.Started;
+        elapsed = 0.0;
+      };
+    match Unix.fork () with
+    | 0 ->
+        Unix.close fd_r;
+        (match sabotage with
+        | Some s when s ~rank ~attempt -> Unix.kill (Unix.getpid ()) Sys.sigkill
+        | _ -> ());
+        let oc = Unix.out_channel_of_descr fd_w in
+        let v : (r, string) result =
+          try Ok (f rank) with e -> Error (Printexc.to_string e)
+        in
+        Marshal.to_channel oc v [];
+        flush oc;
+        Unix._exit 0
+    | pid ->
+        Unix.close fd_w;
+        let now = Unix.gettimeofday () in
+        running :=
+          {
+            pid;
+            rank;
+            attempt;
+            started = now;
+            deadline = now +. timeout;
+            fd = fd_r;
+            ic = Unix.in_channel_of_descr fd_r;
+          }
+          :: !running
+  in
+  let drop r = running := List.filter (fun x -> x.pid <> r.pid) !running in
+  let requeue_or_fail r reason status =
+    if r.attempt > retries then begin
+      failures := { rank = r.rank; attempts = r.attempt; reason } :: !failures;
+      progress r (Tstm_obs.Progress.Gave_up reason)
+    end
+    else begin
+      progress r status;
+      Queue.add (r.rank, r.attempt + 1) queue
+    end
+  in
+  (* A readable pipe either delivers a complete marshalled row (the child
+     wrote, flushed and exited) or hits EOF mid-value (the child died). *)
+  let finish r =
+    drop r;
+    let value =
+      try Some (Marshal.from_channel r.ic : (r, string) result)
+      with _ -> None
+    in
+    close_in_noerr r.ic;
+    let _, status = Unix.waitpid [] r.pid in
+    match value with
+    | Some (Ok v) ->
+        rows.(r.rank) <- Some v;
+        progress r Tstm_obs.Progress.Finished
+    | Some (Error msg) ->
+        (* The job itself raised: deterministic, so a retry would fail the
+           same way. *)
+        let reason = "exception: " ^ msg in
+        failures :=
+          { rank = r.rank; attempts = r.attempt; reason } :: !failures;
+        progress r (Tstm_obs.Progress.Gave_up reason)
+    | None ->
+        let reason =
+          match status with
+          | Unix.WSIGNALED s -> "killed by " ^ signal_name s
+          | Unix.WEXITED c -> Printf.sprintf "exited %d without a result" c
+          | Unix.WSTOPPED s -> "stopped by " ^ signal_name s
+        in
+        requeue_or_fail r reason (Tstm_obs.Progress.Crashed reason)
+  in
+  let kill_timed_out r =
+    drop r;
+    (try Unix.kill r.pid Sys.sigkill with Unix.Unix_error _ -> ());
+    close_in_noerr r.ic;
+    ignore (Unix.waitpid [] r.pid);
+    requeue_or_fail r
+      (Printf.sprintf "timeout after %.0fs" timeout)
+      Tstm_obs.Progress.Timed_out
+  in
+  while (not (Queue.is_empty queue)) || !running <> [] do
+    while (not (Queue.is_empty queue)) && List.length !running < jobs do
+      spawn (Queue.pop queue)
+    done;
+    let fds = List.map (fun r -> r.fd) !running in
+    let now = Unix.gettimeofday () in
+    let next_deadline =
+      List.fold_left (fun a r -> Float.min a r.deadline) infinity !running
+    in
+    let wait = Float.max 0.005 (Float.min 1.0 (next_deadline -. now)) in
+    let readable, _, _ =
+      try Unix.select fds [] [] wait
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    List.iter
+      (fun fd ->
+        match List.find_opt (fun r -> r.fd = fd) !running with
+        | Some r -> finish r
+        | None -> ())
+      readable;
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun r -> if r.deadline <= now then kill_timed_out r)
+      (List.filter (fun r -> r.deadline <= now) !running)
+  done;
+  {
+    rows;
+    failures =
+      List.sort
+        (fun (a : failure) (b : failure) -> compare a.rank b.rank)
+        !failures;
+  }

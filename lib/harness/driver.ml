@@ -148,7 +148,13 @@ struct
       elapsed;
     }
 
-  let run t ops (spec : Workload.spec) =
+  type control = {
+    period : float;
+    n_periods : int;
+    on_period : int -> float -> Tstm_tm.Tm_stats.t -> unit;
+  }
+
+  let run_timed t ops (spec : Workload.spec) =
     T.reset_stats t;
     R.run ~nthreads:spec.Workload.nthreads (fun tid ->
         let g = Tstm_util.Xrand.create (thread_seed spec tid) in
@@ -157,10 +163,9 @@ struct
         let tend = t0 +. spec.Workload.duration in
         while R.now () < tend do
           step t ops spec g pending
-        done);
-    result_of_stats spec.Workload.duration (T.stats t)
+        done)
 
-  let run_with_control t ops (spec : Workload.spec) ~period ~n_periods
+  let run_controlled t ops (spec : Workload.spec) ~period ~n_periods
       ~on_period =
     T.reset_stats t;
     (* Per-thread commit counters on private cache lines, plus a stop flag;
@@ -202,7 +207,7 @@ struct
           done)
 
   (* ------------------------------------------------------------------ *)
-  (* Observed runs: per-period metric rows for the CSV exporter          *)
+  (* Per-period metric rows for the CSV exporter                         *)
   (* ------------------------------------------------------------------ *)
 
   let obs_columns =
@@ -222,14 +227,16 @@ struct
       "p99_abort_cycles";
     ]
 
-  let run_observed t ops (spec : Workload.spec) ~period ~n_periods collector =
+  (* A metrics recorder chained in front of the caller's controller: one
+     row per measurement period, diffed against the previous period. *)
+  let metrics_recorder collector =
     let module S = Tstm_tm.Tm_stats in
     let module H = Tstm_obs.Histo in
     let m = Tstm_obs.Metrics.create ~columns:obs_columns in
     let prev = ref (S.create ()) in
     let prev_commit = ref (H.copy collector.Tstm_obs.Sink.commit_latency) in
     let prev_abort = ref (H.copy collector.Tstm_obs.Sink.abort_latency) in
-    let on_period idx thr (cum : S.t) =
+    let record idx thr (cum : S.t) =
       let p = !prev in
       let commit_h = H.diff collector.Tstm_obs.Sink.commit_latency ~since:!prev_commit in
       let abort_h = H.diff collector.Tstm_obs.Sink.abort_latency ~since:!prev_abort in
@@ -254,7 +261,38 @@ struct
       prev_commit := H.copy collector.Tstm_obs.Sink.commit_latency;
       prev_abort := H.copy collector.Tstm_obs.Sink.abort_latency
     in
-    run_with_control t ops spec ~period ~n_periods ~on_period;
-    let elapsed = period *. float_of_int n_periods in
-    (result_of_stats elapsed (T.stats t), m)
+    (m, record)
+
+  let run ?control ?collector t ops (spec : Workload.spec) =
+    (* A collector without an explicit control still needs a period
+       structure for its metric rows: one period spanning the duration. *)
+    let control =
+      match (control, collector) with
+      | None, Some _ ->
+          Some
+            {
+              period = spec.Workload.duration;
+              n_periods = 1;
+              on_period = (fun _ _ _ -> ());
+            }
+      | c, _ -> c
+    in
+    match control with
+    | None ->
+        run_timed t ops spec;
+        (result_of_stats spec.Workload.duration (T.stats t), None)
+    | Some { period; n_periods; on_period } ->
+        let metrics, on_period =
+          match collector with
+          | None -> (None, on_period)
+          | Some c ->
+              let m, record = metrics_recorder c in
+              ( Some m,
+                fun idx thr cum ->
+                  record idx thr cum;
+                  on_period idx thr cum )
+        in
+        run_controlled t ops spec ~period ~n_periods ~on_period;
+        let elapsed = period *. float_of_int n_periods in
+        (result_of_stats elapsed (T.stats t), metrics)
 end

@@ -1,9 +1,10 @@
 (** The benchmark thread driver, generic over runtime and STM.
 
     [run] executes the paper's microbenchmark loop (§3.3) and reports
-    throughput and abort statistics; [run_with_control] additionally gives a
-    controller callback on thread 0 at fixed period boundaries — the hook the
-    dynamic tuner (§4) plugs into. *)
+    throughput and abort statistics.  The optional [control] gives a
+    controller callback on thread 0 at fixed period boundaries — the hook
+    the dynamic tuner (§4) plugs into; the optional [collector] records one
+    metrics row per measurement period for the CSV exporter. *)
 
 module Make
     (R : Tstm_runtime.Runtime_intf.S)
@@ -39,42 +40,44 @@ module Make
       invocation/response timestamps into the history for black-box
       serializability checking.  Statistics are reset on entry. *)
 
-  val run : T.t -> ops -> Workload.spec -> Workload.result
-  (** Reset statistics, run [spec.nthreads] workers for [spec.duration]
-      seconds, and report. *)
-
-  val run_with_control :
-    T.t ->
-    ops ->
-    Workload.spec ->
-    period:float ->
-    n_periods:int ->
-    on_period:(int -> float -> Tstm_tm.Tm_stats.t -> unit) ->
-    unit
-  (** Like {!run}, but thread 0 invokes [on_period idx throughput stats]
-      after each measurement period, where [throughput] is the committed
-      transaction rate over that period (all threads) and [stats] is the
-      *cumulative* aggregate since the run started.  The callback may
-      re-tune the STM (e.g. [Tinystm.set_config]); the next period starts
-      after it returns.  The run ends after [n_periods] callbacks
-      ([spec.duration] is ignored). *)
+  (** Periodic controller: thread 0 invokes [on_period idx throughput
+      stats] after each of the [n_periods] measurement periods of [period]
+      virtual seconds, where [throughput] is the committed transaction rate
+      over that period (all threads) and [stats] is the {e cumulative}
+      aggregate since the run started.  The callback may re-tune the STM
+      (e.g. [Tinystm.set_config]); the next period starts after it
+      returns. *)
+  type control = {
+    period : float;
+    n_periods : int;
+    on_period : int -> float -> Tstm_tm.Tm_stats.t -> unit;
+  }
 
   val obs_columns : string list
-  (** Column names of the per-period metrics emitted by {!run_observed}. *)
+  (** Column names of the per-period metrics recorded under a collector. *)
 
-  val run_observed :
+  val run :
+    ?control:control ->
+    ?collector:Tstm_obs.Sink.collector ->
     T.t ->
     ops ->
     Workload.spec ->
-    period:float ->
-    n_periods:int ->
-    Tstm_obs.Sink.collector ->
-    Workload.result * Tstm_obs.Metrics.t
-  (** {!run_with_control} with a metrics recorder as the controller: one
-      {!Tstm_obs.Metrics} row per measurement period (virtual end time,
-      throughput, commit/abort breakdown deltas, and p50/p99 commit and
-      abort latencies over that period, read from [collector]'s
-      histograms).  The caller is responsible for installing [collector]
-      as the active sink — typically via [Tstm_obs.Sink.with_sink] — so
-      that the latency histograms actually fill. *)
+    Workload.result * Tstm_obs.Metrics.t option
+  (** Reset statistics, run [spec.nthreads] workers, and report — the one
+      driver entry point.
+
+      Without [control], workers run for [spec.duration] virtual seconds.
+      With [control], the run ends after [control.n_periods] controller
+      callbacks instead ([spec.duration] is ignored) and the reported
+      elapsed time is [period * n_periods].
+
+      With [collector], one {!Tstm_obs.Metrics} row is recorded per
+      measurement period (virtual end time, throughput, commit/abort
+      breakdown deltas, p50/p99 commit and abort latencies read from
+      [collector]'s histograms) and returned as [Some metrics]; the rows
+      are recorded before the caller's [on_period] fires.  A [collector]
+      without a [control] records a single period spanning the whole
+      duration.  The caller is responsible for installing [collector] as
+      the active sink — typically via [Tstm_obs.Sink.with_sink] — so the
+      latency histograms actually fill. *)
 end

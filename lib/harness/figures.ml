@@ -1,3 +1,19 @@
+(* Figure regeneration, decomposed into independent cells.
+
+   Every figure is built twice through the same builder code, parameterised
+   by an [eval : cell -> value] callback:
+
+   - [plan] runs the builder with an eval that records each requested cell
+     (returning a dummy value) and yields the ordered cell array;
+   - [assemble] runs it again with an eval that pops the next value from a
+     rank-indexed array and yields the printable outputs.
+
+   Both traversals are structurally identical, so rank [i] of the plan
+   always matches value [i] of the assembly — which is what lets the
+   multi-process sweep runner ([Tstm_exec]) execute the cells in any order
+   on any number of workers and still reassemble byte-identical output.
+   [run_figure] is the sequential composition of the three. *)
+
 module Series = Tstm_util.Series
 module Config = Tinystm.Config
 
@@ -72,6 +88,111 @@ let print_output = function
   | Table t -> Series.print_table t
   | Surface s -> Series.print_surface s
 
+(* ------------------------------------------------------------------ *)
+(* Cells                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type cell =
+  | Intset_cell of {
+      stm : string;
+      n_locks : int;
+      shifts : int;
+      hierarchy : int;
+      hierarchy2 : int;
+      spec : Workload.spec;
+    }
+  | Vacation_cell of {
+      n_locks : int;
+      shifts : int;
+      hierarchy : int;
+      n_relations : int;
+      nthreads : int;
+      duration : float;
+      seed : int;
+    }
+  | Autotune_cell of {
+      structure : Workload.structure;
+      size : int;
+      period : float;
+      steps : int;
+    }
+
+type value = Result of Workload.result | Trace of Scenario.tune_trace
+
+let cell_label = function
+  | Intset_cell { stm; spec; n_locks; shifts; hierarchy; _ } ->
+      Printf.sprintf "%s %s n=%d u=%.0f%% t=%d locks=2^%d sh=%d h=%d" stm
+        (Workload.structure_to_string spec.Workload.structure)
+        spec.Workload.initial_size spec.Workload.update_pct
+        spec.Workload.nthreads
+        (Tstm_util.Bitops.log2 n_locks)
+        shifts hierarchy
+  | Vacation_cell { n_locks; shifts; n_relations; _ } ->
+      Printf.sprintf "vacation rel=%d locks=2^%d sh=%d" n_relations
+        (Tstm_util.Bitops.log2 n_locks)
+        shifts
+  | Autotune_cell { structure; size; steps; _ } ->
+      Printf.sprintf "autotune %s n=%d steps=%d"
+        (Workload.structure_to_string structure)
+        size steps
+
+(* Autotuned traces are expensive and shared between Figs. 11 and 12, so
+   their evaluation is memoised process-wide (the simulator is
+   deterministic, so the cache is semantically invisible). *)
+let trace_cache : (cell, value) Hashtbl.t = Hashtbl.create 4
+
+let eval_cell cell =
+  match cell with
+  | Intset_cell { stm; n_locks; shifts; hierarchy; hierarchy2; spec } ->
+      Result
+        (Scenario.run_intset ~stm ~n_locks ~shifts ~hierarchy ~hierarchy2 spec)
+  | Vacation_cell
+      { n_locks; shifts; hierarchy; n_relations; nthreads; duration; seed } ->
+      let spec =
+        {
+          Scenario.Vac.default_spec with
+          Scenario.Vac.n_relations;
+          n_customers = n_relations;
+        }
+      in
+      Result
+        (Scenario.run_vacation ~n_locks ~shifts ~hierarchy ~spec ~nthreads
+           ~duration ~seed ())
+  | Autotune_cell { structure; size; period; steps } -> (
+      match Hashtbl.find_opt trace_cache cell with
+      | Some v -> v
+      | None ->
+          let spec =
+            Workload.make ~structure ~initial_size:size ~update_pct:20.0
+              ~nthreads:8 ~duration:1.0 ()
+          in
+          let v =
+            Trace (Scenario.run_intset_autotuned ~period ~n_steps:steps spec)
+          in
+          Hashtbl.replace trace_cache cell v;
+          v)
+
+(* ------------------------------------------------------------------ *)
+(* Builders, parameterised by eval                                     *)
+(* ------------------------------------------------------------------ *)
+
+type eval = cell -> value
+
+let res = function
+  | Result r -> r
+  | Trace _ -> invalid_arg "Figures: cell evaluated to a trace, expected a run"
+
+let trace = function
+  | Trace t -> t
+  | Result _ ->
+      invalid_arg "Figures: cell evaluated to a run, expected a trace"
+
+let default_locks = Config.default.Config.n_locks
+
+let intset (ev : eval) ~stm ?(n_locks = default_locks) ?(shifts = 0)
+    ?(hierarchy = 1) ?(hierarchy2 = 1) spec =
+  res (ev (Intset_cell { stm; n_locks; shifts; hierarchy; hierarchy2; spec }))
+
 let kilo x = x /. 1000.0
 
 let duration_of p (structure : Workload.structure) =
@@ -83,7 +204,7 @@ let duration_of p (structure : Workload.structure) =
 (* Figures 2-3: throughput vs. threads                                 *)
 (* ------------------------------------------------------------------ *)
 
-let threads_table p ~title ~structure ~size ~update_pct ~overwrite_pct
+let threads_table ev p ~title ~structure ~size ~update_pct ~overwrite_pct
     ~measure =
   let columns =
     List.map
@@ -96,7 +217,7 @@ let threads_table p ~title ~structure ~size ~update_pct ~overwrite_pct
                   ~update_pct ~overwrite_pct ~nthreads:n
                   ~duration:(duration_of p structure) ()
               in
-              measure (Scenario.run_intset ~stm spec))
+              measure (intset ev ~stm spec))
             p.threads
         in
         (Scenario.stm_label stm, Array.of_list col))
@@ -112,58 +233,58 @@ let threads_table p ~title ~structure ~size ~update_pct ~overwrite_pct
 let throughput_k (r : Workload.result) = kilo r.Workload.throughput
 let aborts_k (r : Workload.result) = kilo r.Workload.abort_rate
 
-let fig2 p =
+let fig2 ev p =
   [
     Table
-      (threads_table p
+      (threads_table ev p
          ~title:"Fig 2a: Red-black tree, 256 elements, 20% updates (x10^3 txs/s)"
          ~structure:Workload.Rbtree ~size:256 ~update_pct:20.0
          ~overwrite_pct:0.0 ~measure:throughput_k);
     Table
-      (threads_table p
+      (threads_table ev p
          ~title:"Fig 2b: Red-black tree, 4096 elements, 20% updates (x10^3 txs/s)"
          ~structure:Workload.Rbtree ~size:4096 ~update_pct:20.0
          ~overwrite_pct:0.0 ~measure:throughput_k);
     Table
-      (threads_table p
+      (threads_table ev p
          ~title:"Fig 2c: Red-black tree, 4096 elements, 60% updates (x10^3 txs/s)"
          ~structure:Workload.Rbtree ~size:4096 ~update_pct:60.0
          ~overwrite_pct:0.0 ~measure:throughput_k);
   ]
 
-let fig3 p =
+let fig3 ev p =
   [
     Table
-      (threads_table p
+      (threads_table ev p
          ~title:"Fig 3a: Linked list, 256 elements, 0% updates (x10^3 txs/s)"
          ~structure:Workload.List ~size:256 ~update_pct:0.0 ~overwrite_pct:0.0
          ~measure:throughput_k);
     Table
-      (threads_table p
+      (threads_table ev p
          ~title:"Fig 3b: Linked list, 256 elements, 20% updates (x10^3 txs/s)"
          ~structure:Workload.List ~size:256 ~update_pct:20.0
          ~overwrite_pct:0.0 ~measure:throughput_k);
     Table
-      (threads_table p
+      (threads_table ev p
          ~title:"Fig 3c: Linked list, 4096 elements, 20% updates (x10^3 txs/s)"
          ~structure:Workload.List ~size:4096 ~update_pct:20.0
          ~overwrite_pct:0.0 ~measure:throughput_k);
   ]
 
-let fig4 p =
+let fig4 ev p =
   [
     Table
-      (threads_table p
+      (threads_table ev p
          ~title:"Fig 4a: Aborts, red-black tree, 4096 elements, 20% updates (x10^3/s)"
          ~structure:Workload.Rbtree ~size:4096 ~update_pct:20.0
          ~overwrite_pct:0.0 ~measure:aborts_k);
     Table
-      (threads_table p
+      (threads_table ev p
          ~title:"Fig 4b: Aborts, linked list, 256 elements, 20% updates (x10^3/s)"
          ~structure:Workload.List ~size:256 ~update_pct:20.0
          ~overwrite_pct:0.0 ~measure:aborts_k);
     Table
-      (threads_table p
+      (threads_table ev p
          ~title:
            "Fig 4c: Throughput, linked list, 256 elements, 5% overwrites (x10^3 txs/s)"
          ~structure:Workload.List ~size:256 ~update_pct:0.0 ~overwrite_pct:5.0
@@ -174,7 +295,7 @@ let fig4 p =
 (* Figure 5: size x update-rate surfaces (8 threads)                   *)
 (* ------------------------------------------------------------------ *)
 
-let fig5 p =
+let fig5 ev p =
   let surface structure stm =
     let values =
       List.map
@@ -186,7 +307,7 @@ let fig5 p =
                    Workload.make ~structure ~initial_size:size ~update_pct:upd
                      ~nthreads:8 ~duration:(duration_of p structure) ()
                  in
-                 kilo (Scenario.run_intset ~stm spec).Workload.throughput)
+                 kilo (intset ev ~stm spec).Workload.throughput)
                p.fig5_updates))
         p.fig5_sizes
     in
@@ -204,16 +325,14 @@ let fig5 p =
   in
   List.concat_map
     (fun structure ->
-      List.map
-        (fun stm -> Surface (surface structure stm))
-        [ Scenario.Tinystm_wb; Scenario.Tinystm_wt; Scenario.Tl2 ])
+      List.map (fun stm -> Surface (surface structure stm)) Scenario.all_stms)
     [ Workload.Rbtree; Workload.List ]
 
 (* ------------------------------------------------------------------ *)
 (* Figures 6-8: locks x shifts surfaces                                *)
 (* ------------------------------------------------------------------ *)
 
-let locks_shifts_surface p ~title ~structure ~size ~hierarchy ~lock_exps
+let locks_shifts_surface ev p ~title ~structure ~size ~hierarchy ~lock_exps
     ~shifts =
   let values =
     List.map
@@ -226,8 +345,8 @@ let locks_shifts_surface p ~title ~structure ~size ~hierarchy ~lock_exps
                    ~nthreads:8 ~duration:(duration_of p structure) ()
                in
                kilo
-                 (Scenario.run_intset ~stm:Scenario.Tinystm_wb
-                    ~n_locks:(1 lsl e) ~shifts:s ~hierarchy spec)
+                 (intset ev ~stm:"tinystm-wb" ~n_locks:(1 lsl e) ~shifts:s
+                    ~hierarchy spec)
                    .Workload.throughput)
              lock_exps))
       shifts
@@ -241,10 +360,10 @@ let locks_shifts_surface p ~title ~structure ~size ~hierarchy ~lock_exps
     values = Array.of_list values;
   }
 
-let fig6 p =
+let fig6 ev p =
   [
     Surface
-      (locks_shifts_surface p
+      (locks_shifts_surface ev p
          ~title:
            (Printf.sprintf
               "Fig 6a: red-black tree, h=4, size=%d, 20%% updates, 8 threads (x10^3 txs/s)"
@@ -252,7 +371,7 @@ let fig6 p =
          ~structure:Workload.Rbtree ~size:p.surface_size ~hierarchy:4
          ~lock_exps:p.surface_lock_exps ~shifts:p.surface_shifts);
     Surface
-      (locks_shifts_surface p
+      (locks_shifts_surface ev p
          ~title:
            (Printf.sprintf
               "Fig 6b: linked list, h=4, size=%d, 20%% updates, 8 threads (x10^3 txs/s)"
@@ -261,25 +380,28 @@ let fig6 p =
          ~lock_exps:p.surface_lock_exps ~shifts:p.surface_shifts);
   ]
 
-let fig7 p =
-  let spec =
-    {
-      Scenario.Vac.default_spec with
-      Scenario.Vac.n_relations = p.fig7_relations;
-      n_customers = p.fig7_relations;
-    }
-  in
+let fig7 ev p =
   let values =
     List.map
       (fun s ->
         Array.of_list
           (List.map
              (fun e ->
-               kilo
-                 (Scenario.run_vacation ~n_locks:(1 lsl e) ~shifts:s
-                    ~hierarchy:4 ~spec ~nthreads:8 ~duration:p.dur_tree
-                    ~seed:7 ())
-                   .Workload.throughput)
+               let r =
+                 res
+                   (ev
+                      (Vacation_cell
+                         {
+                           n_locks = 1 lsl e;
+                           shifts = s;
+                           hierarchy = 4;
+                           n_relations = p.fig7_relations;
+                           nthreads = 8;
+                           duration = p.dur_tree;
+                           seed = 7;
+                         }))
+               in
+               kilo r.Workload.throughput)
              p.fig7_lock_exps))
       p.fig7_shifts
   in
@@ -298,13 +420,13 @@ let fig7 p =
       };
   ]
 
-let fig8 p =
+let fig8 ev p =
   List.concat_map
     (fun structure ->
       List.map
         (fun h ->
           Surface
-            (locks_shifts_surface p
+            (locks_shifts_surface ev p
                ~title:
                  (Printf.sprintf
                     "Fig 8: hierarchical %s, h=%d, size=%d, 20%% updates, 8 threads (x10^3 txs/s)"
@@ -323,14 +445,13 @@ let improvement_column values =
   let min_v = Array.fold_left Float.min values.(0) values in
   Array.map (fun v -> (v -. min_v) /. min_v *. 100.0) values
 
-let fig9 p =
+let fig9 ev p =
   let run ~structure ~n_locks ~shifts ~hierarchy =
     let spec =
       Workload.make ~structure ~initial_size:p.surface_size ~update_pct:20.0
         ~nthreads:8 ~duration:(duration_of p structure) ()
     in
-    (Scenario.run_intset ~stm:Scenario.Tinystm_wb ~n_locks ~shifts ~hierarchy
-       spec)
+    (intset ev ~stm:"tinystm-wb" ~n_locks ~shifts ~hierarchy spec)
       .Workload.throughput
   in
   let curve xs f = improvement_column (Array.of_list (List.map f xs)) in
@@ -428,28 +549,16 @@ let fig9 p =
 (* Figures 10-12: dynamic tuning traces                                *)
 (* ------------------------------------------------------------------ *)
 
-(* Fig 11 and Fig 12 come from the same auto-tuned linked-list run; the
-   simulator is deterministic, so memoising avoids paying for it twice. *)
-let trace_cache : (string, Scenario.tune_trace) Hashtbl.t = Hashtbl.create 4
-
-let autotune_trace p structure =
-  let key =
-    Printf.sprintf "%s-%d-%f-%d" (Workload.structure_to_string structure)
-      p.tune_size p.tune_period p.tune_steps
-  in
-  match Hashtbl.find_opt trace_cache key with
-  | Some tr -> tr
-  | None ->
-      let spec =
-        Workload.make ~structure ~initial_size:p.tune_size ~update_pct:20.0
-          ~nthreads:8 ~duration:1.0 ()
-      in
-      let tr =
-        Scenario.run_intset_autotuned ~period:p.tune_period
-          ~n_steps:p.tune_steps spec
-      in
-      Hashtbl.replace trace_cache key tr;
-      tr
+let autotune_trace ev p structure =
+  trace
+    (ev
+       (Autotune_cell
+          {
+            structure;
+            size = p.tune_size;
+            period = p.tune_period;
+            steps = p.tune_steps;
+          }))
 
 let trace_table title (steps : Tstm_tuning.Tuner.step list) =
   let n = List.length steps in
@@ -478,8 +587,8 @@ let trace_table title (steps : Tstm_tuning.Tuner.step list) =
       ];
   }
 
-let fig10 p =
-  let tr = autotune_trace p Workload.Rbtree in
+let fig10 ev p =
+  let tr = autotune_trace ev p Workload.Rbtree in
   [
     Table
       (trace_table
@@ -489,8 +598,8 @@ let fig10 p =
          tr.Scenario.steps);
   ]
 
-let fig11 p =
-  let tr = autotune_trace p Workload.List in
+let fig11 ev p =
+  let tr = autotune_trace ev p Workload.List in
   [
     Table
       (trace_table
@@ -500,8 +609,8 @@ let fig11 p =
          tr.Scenario.steps);
   ]
 
-let fig12 p =
-  let tr = autotune_trace p Workload.List in
+let fig12 ev p =
+  let tr = autotune_trace ev p Workload.List in
   let n = List.length tr.Scenario.validation_rates in
   [
     Table
@@ -529,6 +638,8 @@ let fig12 p =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Plan / assemble / run                                               *)
+(* ------------------------------------------------------------------ *)
 
 let fig_numbers = [ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
 
@@ -546,16 +657,57 @@ let describe = function
   | 12 -> "Validation locks processed vs skipped under auto-tuning"
   | _ -> "unknown figure"
 
-let run_figure p = function
-  | 2 -> fig2 p
-  | 3 -> fig3 p
-  | 4 -> fig4 p
-  | 5 -> fig5 p
-  | 6 -> fig6 p
-  | 7 -> fig7 p
-  | 8 -> fig8 p
-  | 9 -> fig9 p
-  | 10 -> fig10 p
-  | 11 -> fig11 p
-  | 12 -> fig12 p
-  | n -> invalid_arg (Printf.sprintf "Figures.run_figure: no figure %d" n)
+let build ev p = function
+  | 2 -> fig2 ev p
+  | 3 -> fig3 ev p
+  | 4 -> fig4 ev p
+  | 5 -> fig5 ev p
+  | 6 -> fig6 ev p
+  | 7 -> fig7 ev p
+  | 8 -> fig8 ev p
+  | 9 -> fig9 ev p
+  | 10 -> fig10 ev p
+  | 11 -> fig11 ev p
+  | 12 -> fig12 ev p
+  | n -> invalid_arg (Printf.sprintf "Figures: no figure %d" n)
+
+(* The dummy values handed out while planning: builders may compute on them
+   (ratios, percentages), but the plan-mode outputs are discarded. *)
+let dummy_value = function
+  | Intset_cell _ | Vacation_cell _ ->
+      Result
+        {
+          Workload.commits = 0;
+          aborts = 0;
+          throughput = 0.0;
+          abort_rate = 0.0;
+          stats = Tstm_tm.Tm_stats.create ();
+          elapsed = 0.0;
+        }
+  | Autotune_cell _ ->
+      Trace { Scenario.steps = []; validation_rates = [] }
+
+let plan p n =
+  let acc = ref [] in
+  let ev cell =
+    acc := cell :: !acc;
+    dummy_value cell
+  in
+  ignore (build ev p n);
+  Array.of_list (List.rev !acc)
+
+let assemble p n values =
+  let next = ref 0 in
+  let ev _cell =
+    if !next >= Array.length values then
+      invalid_arg "Figures.assemble: too few values for plan";
+    let v = values.(!next) in
+    incr next;
+    v
+  in
+  let out = build ev p n in
+  if !next <> Array.length values then
+    invalid_arg "Figures.assemble: too many values for plan";
+  out
+
+let run_figure p n = assemble p n (Array.map eval_cell (plan p n))

@@ -1,7 +1,15 @@
-(** Regeneration of every figure in the paper's evaluation (Figs. 2-12).
+(** Regeneration of every figure in the paper's evaluation (Figs. 2-12),
+    decomposed into independently-evaluable cells.
 
-    Each [figN] function runs the corresponding experiment on the simulated
-    8-core runtime and returns printable series; [run_figure] prints them.
+    A figure is described by a builder that requests experiment {!cell}s
+    through an [eval] callback.  [plan] runs the builder once, recording the
+    cells it asks for; the cells can then be evaluated in any order (and in
+    any process — they are serialisable), and [assemble] replays the builder
+    feeding the values back in rank order to produce the printable series.
+    [run_figure] is the sequential composition of the three; the
+    multi-process sweep runner ([Tstm_exec]) farms the middle step out to
+    worker processes and still reassembles byte-identical output.
+
     A {!profile} scales experiment sizes: [quick] for smoke runs, [full]
     for paper-comparable parameters (several minutes of real time for the
     linked-list surfaces). *)
@@ -36,12 +44,59 @@ type output =
 
 val print_output : output -> unit
 
+(** One experiment a figure needs: a pure, serialisable description
+    (structural equality and [Marshal]-safe — no closures, no custom
+    blocks). *)
+type cell =
+  | Intset_cell of {
+      stm : string;  (** registry name, e.g. ["tinystm-wb"] *)
+      n_locks : int;
+      shifts : int;
+      hierarchy : int;
+      hierarchy2 : int;
+      spec : Workload.spec;
+    }
+  | Vacation_cell of {
+      n_locks : int;
+      shifts : int;
+      hierarchy : int;
+      n_relations : int;
+      nthreads : int;
+      duration : float;
+      seed : int;
+    }
+  | Autotune_cell of {
+      structure : Workload.structure;
+      size : int;
+      period : float;
+      steps : int;
+    }
+
+(** What evaluating a cell yields. *)
+type value = Result of Workload.result | Trace of Scenario.tune_trace
+
+val cell_label : cell -> string
+(** Short human-readable description (for progress lines). *)
+
+val eval_cell : cell -> value
+(** Run one cell on the simulated runtime.  Deterministic: the value
+    depends only on the cell.  Autotune traces are memoised process-wide
+    (Figs. 11 and 12 share one). *)
+
+val plan : profile -> int -> cell array
+(** The ordered cells figure [n] needs under the given profile. *)
+
+val assemble : profile -> int -> value array -> output list
+(** Rebuild figure [n]'s series from the values of its plan, in plan
+    order.  Raises [Invalid_argument] if the array length does not match
+    the plan. *)
+
 val fig_numbers : int list
 (** [2; ...; 12]. *)
 
 val run_figure : profile -> int -> output list
-(** Runs the experiment for one paper figure and returns its series (already
-    printed figure-by-figure by the caller via {!print_output}).  Raises
+(** [assemble p n (Array.map eval_cell (plan p n))] — runs the experiment
+    for one paper figure and returns its series.  Raises
     [Invalid_argument] for unknown figure numbers. *)
 
 val describe : int -> string

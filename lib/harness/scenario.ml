@@ -2,77 +2,117 @@ module R = Tstm_runtime.Runtime_sim
 module Ts = Tinystm.Make (R)
 module Tl = Tstm_tl2.Tl2.Make (R)
 module Vac = Tstm_vacation.Vacation.Make (Ts)
-module D_ts = Driver.Make (R) (Ts)
-module D_tl = Driver.Make (R) (Tl)
 module Config = Tinystm.Config
+module Intf = Tstm_tm.Tm_intf
+module Registry = Tstm_tm.Registry
 
 (* Timestamps for layers without a runtime handle (the tuner) come from the
    sink's clock; every scenario runs on the simulated runtime. *)
 let () = Tstm_obs.Sink.set_clock R.now_cycles
 
-type stm_kind = Tinystm_wb | Tinystm_wt | Tl2
+(* ------------------------------------------------------------------ *)
+(* The STM registry entries                                            *)
+(* ------------------------------------------------------------------ *)
 
-let stm_label = function
-  | Tinystm_wb -> "TinySTM-WB"
-  | Tinystm_wt -> "TinySTM-WT"
-  | Tl2 -> "TL2"
+let config_of_tuning strategy (tu : Intf.tuning) =
+  Config.make ~n_locks:tu.Intf.n_locks ~shifts:tu.Intf.shifts
+    ~hierarchy:tu.Intf.hierarchy ~hierarchy2:tu.Intf.hierarchy2 ~strategy ()
 
-let all_stms = [ Tinystm_wb; Tinystm_wt; Tl2 ]
+(* TinySTM packaged per write strategy: the strategy is part of the STM's
+   identity (the paper compares WB and WT as distinct competitors), not a
+   tuning knob. *)
+module Tinystm_packed (Strategy : sig
+  val name : string
+  val strategy : Config.strategy
+end) : Intf.STM = struct
+  include Ts
+
+  let name = Strategy.name
+
+  let create ?(tuning = Intf.default_tuning) ?max_retries ~memory_words () =
+    Ts.create
+      ~config:(config_of_tuning Strategy.strategy tuning)
+      ?max_retries ~memory_words ()
+
+  let configure t tuning =
+    Ts.set_config t (config_of_tuning Strategy.strategy tuning)
+end
+
+module Stm_wb = Tinystm_packed (struct
+  let name = "tinystm-wb"
+  let strategy = Config.Write_back
+end)
+
+module Stm_wt = Tinystm_packed (struct
+  let name = "tinystm-wt"
+  let strategy = Config.Write_through
+end)
+
+module Stm_tl2 : Intf.STM = struct
+  include Tl
+
+  let create ?(tuning = Intf.default_tuning) ?max_retries ~memory_words () =
+    (* TL2 has no hierarchical array; those knobs are ignored. *)
+    Tl.create ~n_locks:tuning.Intf.n_locks ~shifts:tuning.Intf.shifts
+      ?max_retries ~memory_words ()
+
+  let configure _ _ = invalid_arg "tl2: dynamic reconfiguration unsupported"
+end
+
+let () =
+  Registry.register ~aliases:[ "wb" ] ~label:"TinySTM-WB"
+    (module Stm_wb : Intf.STM);
+  Registry.register ~aliases:[ "wt" ] ~label:"TinySTM-WT"
+    (module Stm_wt : Intf.STM);
+  Registry.register ~label:"TL2" (module Stm_tl2 : Intf.STM)
+
+let all_stms = Registry.names ()
+let stm_label = Registry.label
+
+(* ------------------------------------------------------------------ *)
+(* Experiment entry points                                             *)
+(* ------------------------------------------------------------------ *)
 
 let default_locks = Config.default.Config.n_locks
 
-let run_intset ~stm ?(n_locks = default_locks) ?(shifts = 0) ?(hierarchy = 1)
-    ?(hierarchy2 = 1) (spec : Workload.spec) =
-  let words = Workload.memory_words_for spec in
-  match stm with
-  | Tl2 ->
-      let t = Tl.create ~n_locks ~shifts ~memory_words:words () in
-      let ops = D_tl.make_structure t spec.Workload.structure in
-      D_tl.populate t ops spec;
-      D_tl.run t ops spec
-  | Tinystm_wb | Tinystm_wt ->
-      let strategy =
-        if stm = Tinystm_wb then Config.Write_back else Config.Write_through
-      in
-      let config =
-        Config.make ~n_locks ~shifts ~hierarchy ~hierarchy2 ~strategy ()
-      in
-      let t = Ts.create ~config ~memory_words:words () in
-      let ops = D_ts.make_structure t spec.Workload.structure in
-      D_ts.populate t ops spec;
-      D_ts.run t ops spec
+let tuning_of ?(n_locks = default_locks) ?(shifts = 0) ?(hierarchy = 1)
+    ?(hierarchy2 = 1) () =
+  { Intf.n_locks; shifts; hierarchy; hierarchy2 }
 
-let run_intset_observed ~stm ?(n_locks = default_locks) ?(shifts = 0)
-    ?(hierarchy = 1) ?(hierarchy2 = 1) ?ring_capacity ~period ~n_periods
+let run_intset ~stm ?n_locks ?shifts ?hierarchy ?hierarchy2
     (spec : Workload.spec) =
-  let words = Workload.memory_words_for spec in
+  let (module M) = Registry.get stm in
+  let module D = Driver.Make (R) (M) in
+  let tuning = tuning_of ?n_locks ?shifts ?hierarchy ?hierarchy2 () in
+  let t =
+    M.create ~tuning ~memory_words:(Workload.memory_words_for spec) ()
+  in
+  let ops = D.make_structure t spec.Workload.structure in
+  D.populate t ops spec;
+  fst (D.run t ops spec)
+
+let run_intset_observed ~stm ?n_locks ?shifts ?hierarchy ?hierarchy2
+    ?ring_capacity ~period ~n_periods (spec : Workload.spec) =
+  let (module M) = Registry.get stm in
+  let module D = Driver.Make (R) (M) in
+  let tuning = tuning_of ?n_locks ?shifts ?hierarchy ?hierarchy2 () in
   let collector = Tstm_obs.Sink.collector ?ring_capacity () in
+  let t =
+    M.create ~tuning ~memory_words:(Workload.memory_words_for spec) ()
+  in
+  let ops = D.make_structure t spec.Workload.structure in
+  D.populate t ops spec;
   (* The sink goes live only for the measured run: population noise stays
      out of the trace, and the previous sink (normally [Null]) comes back
      afterwards even on exceptions. *)
-  let observe f = Tstm_obs.Sink.with_sink (Tstm_obs.Sink.Collect collector) f in
   let result, metrics =
-    match stm with
-    | Tl2 ->
-        let t = Tl.create ~n_locks ~shifts ~memory_words:words () in
-        let ops = D_tl.make_structure t spec.Workload.structure in
-        D_tl.populate t ops spec;
-        observe (fun () ->
-            D_tl.run_observed t ops spec ~period ~n_periods collector)
-    | Tinystm_wb | Tinystm_wt ->
-        let strategy =
-          if stm = Tinystm_wb then Config.Write_back else Config.Write_through
-        in
-        let config =
-          Config.make ~n_locks ~shifts ~hierarchy ~hierarchy2 ~strategy ()
-        in
-        let t = Ts.create ~config ~memory_words:words () in
-        let ops = D_ts.make_structure t spec.Workload.structure in
-        D_ts.populate t ops spec;
-        observe (fun () ->
-            D_ts.run_observed t ops spec ~period ~n_periods collector)
+    Tstm_obs.Sink.with_sink (Tstm_obs.Sink.Collect collector) (fun () ->
+        D.run
+          ~control:
+            { D.period; n_periods; on_period = (fun _ _ _ -> ()) }
+          ~collector t ops spec)
   in
-  (result, collector, metrics)
+  (result, collector, Option.get metrics)
 
 let run_vacation ?(n_locks = default_locks) ?(shifts = 0) ?(hierarchy = 1)
     ?(spec = Vac.default_spec) ~nthreads ~duration ~seed () =
@@ -111,6 +151,8 @@ let tuning_start =
      disabled hierarchical array (§4.3). *)
   Config.make ~n_locks:(1 lsl 8) ~shifts:0 ~hierarchy:1 ()
 
+module D_ts = Driver.Make (R) (Ts)
+
 let run_intset_autotuned ?(initial = tuning_start) ?(period = 0.002)
     ?(n_steps = 20) ?(tuner_seed = 0x51ce) (spec : Workload.spec) =
   let words = Workload.memory_words_for spec in
@@ -141,7 +183,10 @@ let run_intset_autotuned ?(initial = tuning_start) ?(period = 0.002)
         step_periods := 0;
         if not (Config.equal cfg (Ts.config t)) then Ts.set_config t cfg
   in
-  D_ts.run_with_control t ops spec ~period ~n_periods:(3 * n_steps) ~on_period;
+  ignore
+    (D_ts.run
+       ~control:{ D_ts.period; n_periods = 3 * n_steps; on_period }
+       t ops spec);
   {
     steps = Tstm_tuning.Tuner.history tuner;
     validation_rates = List.rev !rates;

@@ -1,19 +1,26 @@
 (** Top-level experiment entry points on the simulated runtime: one call per
     (STM implementation, workload) pair.  All the figure drivers build on
-    these. *)
+    these.
+
+    Loading this module registers the three packaged STM implementations —
+    ["tinystm-wb"] (alias ["wb"]), ["tinystm-wt"] (alias ["wt"]) and
+    ["tl2"] — in {!Tstm_tm.Registry}; every [~stm] argument below is a
+    registry name or alias. *)
 
 module R = Tstm_runtime.Runtime_sim
 module Ts : module type of Tinystm.Make (R)
 module Tl : module type of Tstm_tl2.Tl2.Make (R)
 module Vac : module type of Tstm_vacation.Vacation.Make (Ts)
 
-type stm_kind = Tinystm_wb | Tinystm_wt | Tl2
+val all_stms : string list
+(** Canonical registry names, in registration (= presentation) order. *)
 
-val stm_label : stm_kind -> string
-val all_stms : stm_kind list
+val stm_label : string -> string
+(** Display label, e.g. ["TinySTM-WB"]; raises [Invalid_argument] for
+    unknown names. *)
 
 val run_intset :
-  stm:stm_kind ->
+  stm:string ->
   ?n_locks:int ->
   ?shifts:int ->
   ?hierarchy:int ->
@@ -25,7 +32,7 @@ val run_intset :
     workload. *)
 
 val run_intset_observed :
-  stm:stm_kind ->
+  stm:string ->
   ?n_locks:int ->
   ?shifts:int ->
   ?hierarchy:int ->

@@ -10,11 +10,11 @@
 module R = Tstm_runtime.Runtime_sim
 module Chaos = Tstm_chaos.Chaos
 module History = Tstm_chaos.History
-module Config = Tinystm.Config
 module San = Tstm_san.San
+module Registry = Tstm_tm.Registry
 
 type spec = {
-  stm : Scenario.stm_kind;
+  stm : string;
   structure : Workload.structure;
   nthreads : int;
   per_thread : int;
@@ -30,7 +30,7 @@ type spec = {
 
 let default =
   {
-    stm = Scenario.Tinystm_wb;
+    stm = "tinystm-wb";
     structure = Workload.List;
     nthreads = 4;
     per_thread = 24;
@@ -57,16 +57,10 @@ type report = {
 
 let failed r = r.violation <> None || r.san_findings <> []
 
-let stm_code = function
-  | Scenario.Tinystm_wb -> "wb"
-  | Scenario.Tinystm_wt -> "wt"
-  | Scenario.Tl2 -> "tl2"
-
 let repro_command spec =
   let b = Buffer.create 96 in
   Buffer.add_string b
-    (Printf.sprintf "repro stress --stm %s --structure %s --seed %d"
-       (stm_code spec.stm)
+    (Printf.sprintf "repro stress --stm %s --structure %s --seed %d" spec.stm
        (Workload.structure_to_string spec.structure)
        spec.seed);
   if spec.nthreads <> default.nthreads then
@@ -91,20 +85,6 @@ let repro_command spec =
 let memory_words spec =
   ((spec.key_range + (8 * spec.nthreads) + 64) * 24) + 8192
 
-module Exec (T : Tstm_tm.Tm_intf.TM) = struct
-  module D = Driver.Make (R) (T)
-
-  let go (t : T.t) spec history =
-    let ops = D.make_structure t spec.structure in
-    D.run_recorded t ops ~nthreads:spec.nthreads ~per_thread:spec.per_thread
-      ~key_range:spec.key_range ~seed:spec.seed history;
-    let final = T.atomically t (fun tx -> ops.D.op_to_list tx) in
-    (final, T.stats t)
-end
-
-module Exec_ts = Exec (Scenario.Ts)
-module Exec_tl = Exec (Scenario.Tl)
-
 let run_one spec =
   let words = memory_words spec in
   let history = History.create ~nthreads:spec.nthreads in
@@ -113,28 +93,20 @@ let run_one spec =
         Chaos.with_plan ~config:spec.chaos ?limit:spec.site_limit
           ~seed:spec.seed (fun () ->
             let body () =
-              match spec.stm with
-              | Scenario.Tl2 ->
-                  let t =
-                    Scenario.Tl.create ~max_retries:spec.max_retries
-                      ~memory_words:words ()
-                  in
-                  Exec_tl.go t spec history
-              | Scenario.Tinystm_wb | Scenario.Tinystm_wt ->
-                  let strategy =
-                    if spec.stm = Scenario.Tinystm_wb then Config.Write_back
-                    else Config.Write_through
-                  in
-                  let config = Config.make ~strategy () in
-                  let t =
-                    Scenario.Ts.create ~config ~max_retries:spec.max_retries
-                      ~memory_words:words ()
-                  in
-                  Exec_ts.go t spec history
+              let (module M) = Registry.get spec.stm in
+              let module D = Driver.Make (R) (M) in
+              let t =
+                M.create ~max_retries:spec.max_retries ~memory_words:words ()
+              in
+              let ops = D.make_structure t spec.structure in
+              D.run_recorded t ops ~nthreads:spec.nthreads
+                ~per_thread:spec.per_thread ~key_range:spec.key_range
+                ~seed:spec.seed history;
+              let final = M.atomically t (fun tx -> ops.D.op_to_list tx) in
+              (final, M.stats t)
             in
             let (final, stats), fs =
-              if spec.san then
-                San.with_armed ~ncpus:(max 1 spec.nthreads) body
+              if spec.san then San.with_armed ~ncpus:(max 1 spec.nthreads) body
               else (body (), [])
             in
             (final, stats, Chaos.injected (), Chaos.decisions (), fs))
@@ -207,45 +179,64 @@ type sweep_result = {
   first_failure : (spec * report) option;
 }
 
-(* Sweep seeds (outer) x stm x structure (inner), stopping at the first
-   serializability violation or sanitizer finding. *)
+(* The ordered spec list of a sweep: seeds (outer) x stm x structure
+   (inner) — the same nesting as the sequential [sweep], so plan rank
+   order equals sequential execution order. *)
+let plan ~seeds ~stms ~structures base =
+  let acc = ref [] in
+  for seed = seeds - 1 downto 0 do
+    List.iter
+      (fun stm ->
+        List.iter
+          (fun structure -> acc := { base with stm; structure; seed } :: !acc)
+          (List.rev structures))
+      (List.rev stms)
+  done;
+  Array.of_list !acc
+
+(* Fold reports in plan order, truncating after the first failure — the
+   summary a sequential early-exiting sweep would have produced, however
+   many runs were actually executed (a parallel sweep completes in-flight
+   jobs past the failure; their reports are ignored). *)
+let summarize results =
+  let acc =
+    {
+      runs = 0;
+      total_events = 0;
+      total_injected = 0;
+      total_escalations = 0;
+      total_commits = 0;
+      total_aborts = 0;
+      first_failure = None;
+    }
+  in
+  Array.fold_left
+    (fun acc (spec, r) ->
+      if acc.first_failure <> None then acc
+      else
+        {
+          runs = acc.runs + 1;
+          total_events = acc.total_events + r.events;
+          total_injected = acc.total_injected + r.injected;
+          total_escalations = acc.total_escalations + r.escalations;
+          total_commits = acc.total_commits + r.commits;
+          total_aborts = acc.total_aborts + r.aborts;
+          first_failure = (if failed r then Some (spec, r) else None);
+        })
+    acc results
+
+(* Sweep sequentially with early exit — equivalent to evaluating the plan
+   in order and summarising, but stops issuing runs at the first failure. *)
 let sweep ?(on_run = fun _ _ -> ()) ~seeds ~stms ~structures base =
-  let runs = ref 0
-  and events = ref 0
-  and injected = ref 0
-  and escalations = ref 0
-  and commits = ref 0
-  and aborts = ref 0 in
-  let failure = ref None in
+  let specs = plan ~seeds ~stms ~structures base in
+  let results = ref [] in
   (try
-     for seed = 0 to seeds - 1 do
-       List.iter
-         (fun stm ->
-           List.iter
-             (fun structure ->
-               let spec = { base with stm; structure; seed } in
-               let r = run_one spec in
-               incr runs;
-               events := !events + r.events;
-               injected := !injected + r.injected;
-               escalations := !escalations + r.escalations;
-               commits := !commits + r.commits;
-               aborts := !aborts + r.aborts;
-               on_run spec r;
-               if failed r then begin
-                 failure := Some (spec, r);
-                 raise Exit
-               end)
-             structures)
-         stms
-     done
+     Array.iter
+       (fun spec ->
+         let r = run_one spec in
+         results := (spec, r) :: !results;
+         on_run spec r;
+         if failed r then raise Exit)
+       specs
    with Exit -> ());
-  {
-    runs = !runs;
-    total_events = !events;
-    total_injected = !injected;
-    total_escalations = !escalations;
-    total_commits = !commits;
-    total_aborts = !aborts;
-    first_failure = !failure;
-  }
+  summarize (Array.of_list (List.rev !results))

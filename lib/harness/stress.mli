@@ -4,10 +4,12 @@
     Each run is fully determined by its {!spec}: same spec, bit-identical
     schedule, history and verdict.  A failure therefore travels as a spec;
     {!repro_command} renders it as the `repro stress` invocation that
-    replays it. *)
+    replays it.  Specs and reports are pure data ([Marshal]-safe), so a
+    sweep decomposes into independent per-spec jobs ({!plan}) whose reports
+    reassemble into the sequential verdict ({!summarize}). *)
 
 type spec = {
-  stm : Scenario.stm_kind;
+  stm : string;  (** {!Tstm_tm.Registry} name or alias *)
   structure : Workload.structure;
   nthreads : int;
   per_thread : int;  (** operations per thread *)
@@ -39,18 +41,16 @@ val failed : report -> bool
 (** A run fails when the checker found a violation or the sanitizer
     reported at least one finding. *)
 
-val stm_code : Scenario.stm_kind -> string
-(** CLI code: ["wb"], ["wt"] or ["tl2"]. *)
-
 val repro_command : spec -> string
 (** The `repro stress ...` command line replaying exactly this spec. *)
 
 val memory_words : spec -> int
 
 val run_one : spec -> report
-(** One deterministic run: fresh instance, chaos plan [seed], random
-    single-op transactions, serializability check of the recorded history
-    against the structure's final contents. *)
+(** One deterministic run: fresh instance (STM resolved through
+    {!Tstm_tm.Registry}), chaos plan [seed], random single-op transactions,
+    serializability check of the recorded history against the structure's
+    final contents. *)
 
 type shrunk = { limit : int; report : report }
 
@@ -70,13 +70,27 @@ type sweep_result = {
   first_failure : (spec * report) option;
 }
 
+val plan :
+  seeds:int ->
+  stms:string list ->
+  structures:Workload.structure list ->
+  spec ->
+  spec array
+(** The ordered specs of a sweep over seeds [0..seeds-1] (outer) x STMs x
+    structures (inner) — rank order equals sequential execution order. *)
+
+val summarize : (spec * report) array -> sweep_result
+(** Fold reports in plan order, truncating after the first failed run —
+    the verdict an early-exiting sequential sweep would produce.  Entries
+    past the first failure are ignored, so the summary is independent of
+    how many in-flight parallel runs completed. *)
+
 val sweep :
   ?on_run:(spec -> report -> unit) ->
   seeds:int ->
-  stms:Scenario.stm_kind list ->
+  stms:string list ->
   structures:Workload.structure list ->
   spec ->
   sweep_result
-(** Run seeds [0..seeds-1] (outer loop) across the given STMs and
-    structures (inner loops), stopping at the first failed run
+(** Run the {!plan} in order, stopping at the first failed run
     (serializability violation or sanitizer finding). *)

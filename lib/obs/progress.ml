@@ -1,0 +1,45 @@
+(* Progress-line formatting for multi-process sweeps: pure string
+   builders, printed (to stderr) by the binaries so parallel runs stay
+   observable without touching the deterministic stdout stream. *)
+
+type status =
+  | Started
+  | Finished
+  | Crashed of string
+  | Timed_out
+  | Gave_up of string
+
+let status_word = function
+  | Started -> "start"
+  | Finished -> "done"
+  | Crashed _ -> "crash"
+  | Timed_out -> "timeout"
+  | Gave_up _ -> "FAILED"
+
+let status_detail = function
+  | Started | Finished -> ""
+  | Crashed reason -> Printf.sprintf " (%s)" reason
+  | Timed_out -> " (killed)"
+  | Gave_up reason -> Printf.sprintf " (%s)" reason
+
+let job_line ~rank ~total ~attempt ~status ~elapsed label =
+  let width = String.length (string_of_int total) in
+  let retry = if attempt > 1 then Printf.sprintf " retry %d" (attempt - 1) else "" in
+  match status with
+  | Started ->
+      Printf.sprintf "[%*d/%d] start%s          %s" width (rank + 1) total
+        retry label
+  | _ ->
+      Printf.sprintf "[%*d/%d] %-7s%s %5.1fs  %s%s" width (rank + 1) total
+        (status_word status) retry elapsed label (status_detail status)
+
+let sweep_line ~jobs ~workers ~failed ~elapsed =
+  let verdict =
+    if failed = 0 then "all ok"
+    else Printf.sprintf "%d FAILED (partial results)" failed
+  in
+  Printf.sprintf "(%d job%s on %d worker%s in %.1fs: %s)" jobs
+    (if jobs = 1 then "" else "s")
+    workers
+    (if workers = 1 then "" else "s")
+    elapsed verdict

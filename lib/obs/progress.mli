@@ -1,0 +1,28 @@
+(** Progress-line formatting for multi-process sweeps.
+
+    Pure string builders: the sweep runner reports job lifecycle events and
+    the binaries render them to stderr, keeping the deterministic stdout
+    stream untouched by scheduling noise. *)
+
+type status =
+  | Started
+  | Finished
+  | Crashed of string  (** worker died; will be retried if budget remains *)
+  | Timed_out  (** worker exceeded the per-job timeout and was killed *)
+  | Gave_up of string  (** job failed permanently (partial results) *)
+
+val job_line :
+  rank:int ->
+  total:int ->
+  attempt:int ->
+  status:status ->
+  elapsed:float ->
+  string ->
+  string
+(** [job_line ~rank ~total ~attempt ~status ~elapsed label] — one line per
+    job lifecycle event; [rank] is 0-based, [attempt] 1-based, [elapsed]
+    in real seconds (ignored for [Started]). *)
+
+val sweep_line :
+  jobs:int -> workers:int -> failed:int -> elapsed:float -> string
+(** Sweep summary trailer. *)

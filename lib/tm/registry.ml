@@ -1,0 +1,58 @@
+(* Name-keyed registry of packaged STM implementations.
+
+   The registry is the single point of STM dispatch in the repository:
+   harness, CLIs and tests resolve an implementation by its canonical name
+   (or a short alias) and get back a first-class [(module Tm_intf.STM)].
+   Entries are registered at module-initialisation time by the library that
+   instantiates the implementation over a concrete runtime (see
+   [Tstm_harness.Scenario], which registers tinystm-wb, tinystm-wt and tl2
+   over the simulated runtime); a binary that links that library sees the
+   entries before [main] runs. *)
+
+type entry = {
+  name : string;
+  label : string;
+  aliases : string list;
+  stm : (module Tm_intf.STM);
+}
+
+(* Registration order is the presentation order (figures, CLIs), so keep an
+   ordered list rather than hashing. *)
+let entries : entry list ref = ref []
+
+let all () = List.rev !entries
+
+let names () = List.map (fun e -> e.name) (all ())
+
+let entry_of name =
+  List.find_opt
+    (fun e -> String.equal e.name name || List.mem name e.aliases)
+    (all ())
+
+let mem name = entry_of name <> None
+
+let register ?(aliases = []) ?label (stm : (module Tm_intf.STM)) =
+  let module M = (val stm) in
+  let name = M.name in
+  let label = Option.value label ~default:name in
+  List.iter
+    (fun key ->
+      if mem key then
+        invalid_arg (Printf.sprintf "Registry.register: %S already bound" key))
+    (name :: aliases);
+  entries := { name; label; aliases; stm } :: !entries
+
+let unknown name =
+  invalid_arg
+    (Printf.sprintf "unknown STM %S (known: %s)" name
+       (String.concat ", " (names ())))
+
+let find name = Option.map (fun e -> e.stm) (entry_of name)
+
+let get name = match find name with Some stm -> stm | None -> unknown name
+
+let canonical name =
+  match entry_of name with Some e -> e.name | None -> unknown name
+
+let label name =
+  match entry_of name with Some e -> e.label | None -> unknown name

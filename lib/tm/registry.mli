@@ -1,0 +1,33 @@
+(** Name-keyed registry of packaged {!Tm_intf.STM} implementations — the
+    single STM dispatch point in the repository.
+
+    Implementations register themselves (typically at module initialisation
+    of the library that instantiates them over a concrete runtime, e.g.
+    [Tstm_harness.Scenario] for the simulated runtime) under a canonical
+    name plus optional short aliases; harness and CLI code resolves either
+    form.  Lookups raise [Invalid_argument] listing the known names, so a
+    typo in a CLI flag produces an actionable message. *)
+
+val register :
+  ?aliases:string list -> ?label:string -> (module Tm_intf.STM) -> unit
+(** Register under the module's [name].  [aliases] are alternate lookup
+    keys (e.g. ["wb"] for ["tinystm-wb"]); [label] is the display label
+    used in figure headings (defaults to the name).  Raises
+    [Invalid_argument] when the name or an alias is already bound. *)
+
+val find : string -> (module Tm_intf.STM) option
+(** Resolve a canonical name or alias; [None] when unknown. *)
+
+val get : string -> (module Tm_intf.STM)
+(** Like {!find}; raises [Invalid_argument] when unknown. *)
+
+val mem : string -> bool
+
+val canonical : string -> string
+(** Canonical name for a name or alias; raises when unknown. *)
+
+val label : string -> string
+(** Display label (e.g. ["TinySTM-WB"]); raises when unknown. *)
+
+val names : unit -> string list
+(** Canonical names in registration order. *)

@@ -9,6 +9,19 @@
     abort exception that {!TM.atomically} catches and retries, so user code
     must let exceptions propagate. *)
 
+(** The tuning parameters every STM instance is created with (paper §4).
+    STMs without a given knob ignore it: TL2 has no hierarchical array, so
+    [hierarchy]/[hierarchy2] are meaningless there. *)
+type tuning = {
+  n_locks : int;  (** size of the lock array; a power of two *)
+  shifts : int;  (** address right-shifts before lock hashing *)
+  hierarchy : int;  (** hierarchical-array size; 1 = disabled *)
+  hierarchy2 : int;  (** second counter level; 1 = single level *)
+}
+
+let default_tuning =
+  { n_locks = 1 lsl 16; shifts = 0; hierarchy = 1; hierarchy2 = 1 }
+
 module type TM = sig
   type t
   (** An STM instance bound to a memory arena. *)
@@ -45,4 +58,24 @@ module type TM = sig
   (** Aggregated statistics over all threads (call while quiescent). *)
 
   val reset_stats : t -> unit
+end
+
+(** A packaged STM: the {!TM} operations plus instance construction and
+    quiescent re-tuning, uniform across implementations so harness and CLI
+    code can dispatch through {!Registry} instead of matching on names.
+    Registered as first-class modules ([(module Some_stm : STM)]). *)
+module type STM = sig
+  include TM
+
+  val create : ?tuning:tuning -> ?max_retries:int -> memory_words:int -> unit -> t
+  (** Build an instance over a fresh memory arena.  [tuning] defaults to
+      {!default_tuning} (2{^16} locks, no shifts, hierarchy disabled) —
+      the paper's production default; knobs the implementation lacks are
+      ignored.  [max_retries] (default 0 = never) is the retry budget
+      before a transaction escalates to serial-irrevocable execution. *)
+
+  val configure : t -> tuning -> unit
+  (** Re-tune a quiescent instance in place (the clock roll-over fence of
+      paper §4.2).  Raises [Invalid_argument] for STMs without dynamic
+      reconfiguration (TL2). *)
 end

@@ -19,7 +19,7 @@ let () =
       ~duration:0.001 ~seed:11 ()
   in
   let r, collector, metrics =
-    S.run_intset_observed ~stm:S.Tinystm_wb ~period:0.001 ~n_periods:1 spec
+    S.run_intset_observed ~stm:"tinystm-wb" ~period:0.001 ~n_periods:1 spec
   in
   check "run committed transactions" (r.W.commits > 0);
   check "events were recorded"

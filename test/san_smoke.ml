@@ -39,7 +39,7 @@ let () =
   let spec =
     {
       base with
-      Stress.stm = Scenario.Tl2;
+      Stress.stm = "tl2";
       per_thread = 8;
       seed = 0;
       bug = Some Chaos.Skip_validation;

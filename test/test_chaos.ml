@@ -133,7 +133,7 @@ let find_bug_failure bug stms =
   sweep.Stress.first_failure
 
 let test_skip_extension_caught_and_replays () =
-  match find_bug_failure Chaos.Skip_extension [ Scenario.Tinystm_wb ] with
+  match find_bug_failure Chaos.Skip_extension [ "tinystm-wb" ] with
   | None -> Alcotest.fail "skip-extension bug not caught within 10 seeds"
   | Some (spec, r) ->
       check_bool "verdict is a violation" true (r.Stress.violation <> None);

@@ -1,0 +1,212 @@
+(* Golden determinism of the multi-process sweep runner: the merged result
+   of any plan must be byte-identical whatever the worker count, the
+   completion order, or mid-job worker crashes (which requeue).  Verified
+   by marshalling the outcome arrays and comparing digests — any bit of
+   any result row differing fails the test. *)
+
+module F = Tstm_harness.Figures
+module W = Tstm_harness.Workload
+module St = Tstm_harness.Stress
+module Job = Tstm_exec.Job
+module Plan = Tstm_exec.Plan
+module Pool = Tstm_exec.Pool
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fingerprint (res : Plan.result) =
+  Digest.to_hex (Digest.string (Marshal.to_string res.Plan.outcomes []))
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Pool mechanics (cheap jobs, no simulator)                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_rows_in_rank_order () =
+  let v =
+    Pool.map ~jobs:4 ~label:(fun i -> string_of_int i) (fun rank -> rank * 10) 9
+  in
+  check_bool "no failures" true (Pool.ok v);
+  Array.iteri
+    (fun i row -> check_bool "row matches rank" true (row = Some (i * 10)))
+    v.Pool.rows
+
+let test_pool_exception_fails_without_retry () =
+  let v =
+    Pool.map ~jobs:2
+      ~label:(fun i -> string_of_int i)
+      (fun rank -> if rank = 1 then failwith "boom" else rank)
+      3
+  in
+  check_int "one failure" 1 (List.length v.Pool.failures);
+  let f = List.hd v.Pool.failures in
+  check_int "failed rank" 1 f.Pool.rank;
+  (* A job-level exception is deterministic: retrying would fail the same
+     way, so the pool must not burn attempts on it. *)
+  check_int "single attempt" 1 f.Pool.attempts;
+  check_bool "reason carries the exception" true
+    (contains ~sub:"boom" f.Pool.reason);
+  check_bool "other rows unaffected" true
+    (v.Pool.rows.(0) = Some 0 && v.Pool.rows.(2) = Some 2)
+
+let test_pool_timeout_kills_and_reports () =
+  let v =
+    Pool.map ~jobs:2 ~timeout:0.2 ~retries:0
+      ~label:(fun i -> string_of_int i)
+      (fun rank ->
+        if rank = 0 then
+          while true do
+            ()
+          done;
+        7)
+      2
+  in
+  check_bool "healthy row survives" true (v.Pool.rows.(1) = Some 7);
+  check_int "one failure" 1 (List.length v.Pool.failures);
+  let f = List.hd v.Pool.failures in
+  check_int "spinning rank failed" 0 f.Pool.rank;
+  check_bool "reason is the timeout" true (contains ~sub:"timeout" f.Pool.reason)
+
+let test_plan_dedupes_equal_jobs () =
+  let j = Job.Stress_run { St.default with St.seed = 0 } in
+  let progress = ref 0 in
+  let res =
+    Plan.execute ~jobs:2
+      ~on_progress:(fun p ->
+        if p.Pool.status = Tstm_obs.Progress.Finished then incr progress)
+      [| j; j; j |]
+  in
+  check_bool "all three outcomes present" true
+    (Array.for_all (fun o -> o <> None) res.Plan.outcomes);
+  check_bool "shared outcomes are equal" true
+    (res.Plan.outcomes.(0) = res.Plan.outcomes.(1)
+    && res.Plan.outcomes.(1) = res.Plan.outcomes.(2));
+  (* Structural dedupe: the three plan entries ran as one job. *)
+  check_int "evaluated once" 1 !progress
+
+(* ------------------------------------------------------------------ *)
+(* Golden determinism: figures                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Render the assembled figures the way the CLI would (CSV form), so the
+   comparison covers the full plan -> evaluate -> assemble path. *)
+let render_figures profile ns (res : Plan.result) =
+  let buf = Buffer.create 4096 in
+  let cursor = ref 0 in
+  List.iter
+    (fun n ->
+      let cells = F.plan profile n in
+      let values =
+        Array.init (Array.length cells) (fun i ->
+            match res.Plan.outcomes.(!cursor + i) with
+            | Some (Job.Cell_value v) -> v
+            | _ -> Alcotest.fail "missing figure cell")
+      in
+      cursor := !cursor + Array.length cells;
+      List.iter
+        (fun o ->
+          Buffer.add_string buf
+            (match o with
+            | F.Table t -> Tstm_util.Series.table_to_csv t
+            | F.Surface s -> Tstm_util.Series.surface_to_csv s))
+        (F.assemble profile n values))
+    ns;
+  Buffer.contents buf
+
+let golden_figs = [ 7; 10 ]
+
+let test_figures_jobs_invariant () =
+  let plan = Plan.figures F.quick golden_figs in
+  let a = Plan.execute ~jobs:1 plan in
+  let b = Plan.execute ~jobs:4 plan in
+  check_bool "jobs=1 all ok" true (Plan.ok a);
+  check_bool "jobs=4 all ok" true (Plan.ok b);
+  Alcotest.(check string) "outcomes byte-identical" (fingerprint a)
+    (fingerprint b);
+  Alcotest.(check string)
+    "rendered figures byte-identical"
+    (render_figures F.quick golden_figs a)
+    (render_figures F.quick golden_figs b)
+
+(* ------------------------------------------------------------------ *)
+(* Golden determinism: stress sweep                                    *)
+(* ------------------------------------------------------------------ *)
+
+let stress_pairs specs (res : Plan.result) =
+  Array.mapi
+    (fun i o ->
+      match o with
+      | Some (Job.Stress_report r) -> (specs.(i), r)
+      | _ -> Alcotest.fail "missing stress report")
+    res.Plan.outcomes
+
+let test_stress_jobs_invariant () =
+  let specs =
+    St.plan ~seeds:20 ~stms:[ "tinystm-wb" ] ~structures:[ W.List ] St.default
+  in
+  let plan = Array.map (fun s -> Job.Stress_run s) specs in
+  let a = Plan.execute ~jobs:1 plan in
+  let b = Plan.execute ~jobs:4 plan in
+  check_bool "jobs=1 all ok" true (Plan.ok a);
+  check_bool "jobs=4 all ok" true (Plan.ok b);
+  Alcotest.(check string) "reports byte-identical" (fingerprint a)
+    (fingerprint b);
+  let sa = St.summarize (stress_pairs specs a) in
+  let sb = St.summarize (stress_pairs specs b) in
+  check_bool "summaries equal" true (sa = sb);
+  check_int "all runs counted" (Array.length specs) sa.St.runs
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery: a SIGKILLed worker is requeued, output unchanged    *)
+(* ------------------------------------------------------------------ *)
+
+let test_killed_worker_retried () =
+  let specs =
+    St.plan ~seeds:6 ~stms:[ "tinystm-wb" ] ~structures:[ W.List ] St.default
+  in
+  let plan = Array.map (fun s -> Job.Stress_run s) specs in
+  let clean = Plan.execute ~jobs:2 plan in
+  let crashes = ref 0 in
+  let sabotaged =
+    Plan.execute ~jobs:2
+      ~on_progress:(fun p ->
+        match p.Pool.status with
+        | Tstm_obs.Progress.Crashed _ -> incr crashes
+        | _ -> ())
+      ~sabotage:(fun ~rank ~attempt -> rank = 3 && attempt = 1)
+      plan
+  in
+  check_int "exactly one worker was killed" 1 !crashes;
+  check_bool "retry recovered every job" true (Plan.ok sabotaged);
+  Alcotest.(check string)
+    "merged output unchanged by the crash" (fingerprint clean)
+    (fingerprint sabotaged)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "rows in rank order" `Quick
+            test_pool_rows_in_rank_order;
+          Alcotest.test_case "exception fails without retry" `Quick
+            test_pool_exception_fails_without_retry;
+          Alcotest.test_case "timeout kills and reports" `Quick
+            test_pool_timeout_kills_and_reports;
+          Alcotest.test_case "plan dedupes equal jobs" `Quick
+            test_plan_dedupes_equal_jobs;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "figures: jobs=1 = jobs=4" `Quick
+            test_figures_jobs_invariant;
+          Alcotest.test_case "stress: jobs=1 = jobs=4" `Quick
+            test_stress_jobs_invariant;
+          Alcotest.test_case "killed worker retried, output unchanged" `Quick
+            test_killed_worker_retried;
+        ] );
+    ]

@@ -72,7 +72,7 @@ let test_run_produces_commits () =
   let t = make_instance spec in
   let ops = D.make_structure t spec.W.structure in
   D.populate t ops spec;
-  let r = D.run t ops spec in
+  let r, _ = D.run t ops spec in
   check_bool "commits" true (r.W.commits > 0);
   Alcotest.(check (float 1e-6))
     "throughput consistent"
@@ -98,7 +98,7 @@ let test_run_deterministic () =
     let t = make_instance spec in
     let ops = D.make_structure t spec.W.structure in
     D.populate t ops spec;
-    let r = D.run t ops spec in
+    let r, _ = D.run t ops spec in
     (r.W.commits, r.W.aborts)
   in
   check_bool "bit-identical" true (go () = go ())
@@ -112,7 +112,7 @@ let test_seed_changes_runs () =
     let t = make_instance spec in
     let ops = D.make_structure t spec.W.structure in
     D.populate t ops spec;
-    (D.run t ops spec).W.commits
+    (fst (D.run t ops spec)).W.commits
   in
   check_bool "different seeds differ" true (go 1 <> go 2)
 
@@ -122,8 +122,15 @@ let test_control_driver_periods () =
   let ops = D.make_structure t spec.W.structure in
   D.populate t ops spec;
   let calls = ref [] in
-  D.run_with_control t ops spec ~period:0.0005 ~n_periods:5
-    ~on_period:(fun idx thr _stats -> calls := (idx, thr) :: !calls);
+  ignore
+    (D.run
+       ~control:
+         {
+           D.period = 0.0005;
+           n_periods = 5;
+           on_period = (fun idx thr _stats -> calls := (idx, thr) :: !calls);
+         }
+       t ops spec);
   let calls = List.rev !calls in
   check_int "five periods" 5 (List.length calls);
   List.iteri
@@ -138,11 +145,19 @@ let test_control_driver_stats_cumulative () =
   let ops = D.make_structure t spec.W.structure in
   D.populate t ops spec;
   let prev = ref (-1) in
-  D.run_with_control t ops spec ~period:0.0005 ~n_periods:4
-    ~on_period:(fun _ _ stats ->
-      check_bool "commits non-decreasing" true
-        (stats.Tstm_tm.Tm_stats.commits >= !prev);
-      prev := stats.Tstm_tm.Tm_stats.commits)
+  ignore
+    (D.run
+       ~control:
+         {
+           D.period = 0.0005;
+           n_periods = 4;
+           on_period =
+             (fun _ _ stats ->
+               check_bool "commits non-decreasing" true
+                 (stats.Tstm_tm.Tm_stats.commits >= !prev);
+               prev := stats.Tstm_tm.Tm_stats.commits);
+         }
+       t ops spec)
 
 (* ------------------------------------------------------------------ *)
 (* Scenario                                                           *)
@@ -160,8 +175,8 @@ let test_scenario_tuning_params_effect () =
      one on a contended list: just assert both run and produce commits, and
      that results differ (the parameters are actually applied). *)
   let spec = tiny ~size:128 ~updates:50.0 ~threads:8 ~duration:0.001 () in
-  let a = S.run_intset ~stm:S.Tinystm_wb ~n_locks:16 spec in
-  let b = S.run_intset ~stm:S.Tinystm_wb ~n_locks:(1 lsl 16) spec in
+  let a = S.run_intset ~stm:"tinystm-wb" ~n_locks:16 spec in
+  let b = S.run_intset ~stm:"tinystm-wb" ~n_locks:(1 lsl 16) spec in
   check_bool "both ran" true (a.W.commits > 0 && b.W.commits > 0);
   check_bool "parameters change behaviour" true
     (a.W.commits <> b.W.commits || a.W.aborts <> b.W.aborts)

@@ -116,7 +116,7 @@ let spec =
     ~duration:0.002 ~seed:7 ()
 
 let observed () =
-  S.run_intset_observed ~stm:S.Tinystm_wb ~period:0.0005 ~n_periods:4 spec
+  S.run_intset_observed ~stm:"tinystm-wb" ~period:0.0005 ~n_periods:4 spec
 
 let test_trace_deterministic () =
   let _, c1, m1 = observed () in
@@ -167,7 +167,7 @@ let test_json_validator_rejects () =
 let test_null_sink_neutral () =
   (* The whole point of the enabled() guard: a collecting run must report
      exactly the same simulated results as an untraced one. *)
-  let run () = S.run_intset ~stm:S.Tinystm_wb spec in
+  let run () = S.run_intset ~stm:"tinystm-wb" spec in
   let r_null = run () in
   let collector = Obs.Sink.collector () in
   let r_obs =
@@ -186,7 +186,7 @@ let test_null_sink_neutral () =
 
 let test_tl2_observed () =
   let _, c, m =
-    S.run_intset_observed ~stm:S.Tl2 ~period:0.0005 ~n_periods:2 spec
+    S.run_intset_observed ~stm:"tl2" ~period:0.0005 ~n_periods:2 spec
   in
   Alcotest.(check bool)
     "TL2 trace valid JSON" true

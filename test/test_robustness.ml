@@ -344,7 +344,7 @@ let test_overwrite_workload_writes_heavily () =
       ~memory_words:(W.memory_words_for spec) () in
   let ops = D.make_structure t spec.W.structure in
   D.populate t ops spec;
-  let r = D.run t ops spec in
+  let r, _ = D.run t ops spec in
   check_bool "commits" true (r.W.commits > 0);
   let writes_per_tx =
     float_of_int r.W.stats.Tstm_tm.Tm_stats.writes /. float_of_int r.W.commits

@@ -174,7 +174,7 @@ let teeth stm bug () =
   let san, chk, fs = first_seeds spec in
   check_bool
     (Printf.sprintf "sanitizer flags %s on %s (first seed %d)"
-       (Chaos.bug_name bug) (St.stm_code stm) san)
+       (Chaos.bug_name bug) stm san)
     true (san >= 0);
   check_bool
     (Printf.sprintf
@@ -204,15 +204,13 @@ let test_precision_clean () =
             in
             let r = St.run_one spec in
             check_bool
-              (Printf.sprintf "%s %s seed=%d serializable"
-                 (St.stm_code stm)
+              (Printf.sprintf "%s %s seed=%d serializable" stm
                  (W.structure_to_string structure)
                  seed)
               true
               (r.St.violation = None);
             check_bool
-              (Printf.sprintf "%s %s seed=%d san-clean [%s]"
-                 (St.stm_code stm)
+              (Printf.sprintf "%s %s seed=%d san-clean [%s]" stm
                  (W.structure_to_string structure)
                  seed
                  (render_all r.St.san_findings))
@@ -234,8 +232,7 @@ let test_precision_escalation () =
         let r = St.run_one spec in
         total := !total + r.St.escalations;
         check_bool
-          (Printf.sprintf "%s seed=%d escalating run san-clean [%s]"
-             (St.stm_code stm) seed
+          (Printf.sprintf "%s seed=%d escalating run san-clean [%s]" stm seed
              (render_all r.St.san_findings))
           true
           (St.failed r = false)
@@ -264,9 +261,9 @@ let () =
       ( "teeth",
         [
           Alcotest.test_case "skip-extension on wb" `Quick
-            (teeth S.Tinystm_wb Chaos.Skip_extension);
+            (teeth "tinystm-wb" Chaos.Skip_extension);
           Alcotest.test_case "skip-validation on tl2" `Quick
-            (teeth S.Tl2 Chaos.Skip_validation);
+            (teeth "tl2" Chaos.Skip_validation);
         ] );
       ( "precision",
         [
