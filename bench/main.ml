@@ -152,6 +152,7 @@ let run_observed ~jobs ~trace ~metrics_csv ~top_contended =
       p_n_locks = Tinystm.Config.default.Tinystm.Config.n_locks;
       p_shifts = 0;
       p_hierarchy = 1;
+      p_cm = "backoff";
       p_periods = 10;
       p_observe = true;
       p_san = false;

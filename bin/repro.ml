@@ -54,10 +54,11 @@ let list_cmd =
 
 let run_cmd =
   let run structure stm size updates overwrites threads duration locks_exp
-      shifts hierarchy seed trace metrics_csv top_contended periods san jobs =
+      shifts hierarchy seed cm pattern trace metrics_csv top_contended periods
+      san jobs =
     let spec =
       W.make ~structure ~initial_size:size ~update_pct:updates
-        ~overwrite_pct:overwrites ~nthreads:threads ~duration ~seed ()
+        ~overwrite_pct:overwrites ~nthreads:threads ~duration ~seed ~pattern ()
     in
     let observing =
       trace <> None || metrics_csv <> None || top_contended <> None
@@ -69,6 +70,7 @@ let run_cmd =
         p_n_locks = 1 lsl locks_exp;
         p_shifts = shifts;
         p_hierarchy = hierarchy;
+        p_cm = cm;
         p_periods = max 1 periods;
         p_observe = observing;
         p_san = san;
@@ -113,8 +115,9 @@ let run_cmd =
       const run $ Cli.structure_arg $ Cli.stm_arg $ Cli.size_arg
       $ Cli.updates_arg $ Cli.overwrites_arg $ Cli.threads_arg
       $ Cli.duration_arg $ Cli.locks_exp_arg $ Cli.shifts_arg
-      $ Cli.hierarchy_arg $ Cli.seed_arg $ Cli.trace_arg $ Cli.metrics_csv_arg
-      $ Cli.top_contended_arg $ Cli.periods_arg $ Cli.san_arg $ Cli.jobs_arg)
+      $ Cli.hierarchy_arg $ Cli.seed_arg $ Cli.cm_arg $ Cli.workload_arg
+      $ Cli.trace_arg $ Cli.metrics_csv_arg $ Cli.top_contended_arg
+      $ Cli.periods_arg $ Cli.san_arg $ Cli.jobs_arg)
 
 let sweep_cmd =
   let axis_conv =
@@ -144,7 +147,7 @@ let sweep_cmd =
       & info [] ~docv:"VALUES" ~doc:"Comma-separated axis values.")
   in
   let run structure stm size updates threads duration locks_exp shifts
-      hierarchy seed csv jobs axis values =
+      hierarchy seed cm pattern csv jobs axis values =
     let point v =
       let i = int_of_float v in
       let size = if axis = `Size then i else size in
@@ -155,7 +158,7 @@ let sweep_cmd =
       let hierarchy = if axis = `Hierarchy then i else hierarchy in
       let spec =
         W.make ~structure ~initial_size:size ~update_pct:updates
-          ~nthreads:threads ~duration ~seed ()
+          ~nthreads:threads ~duration ~seed ~pattern ()
       in
       {
         Job.p_stm = stm;
@@ -163,6 +166,7 @@ let sweep_cmd =
         p_n_locks = 1 lsl locks_exp;
         p_shifts = shifts;
         p_hierarchy = hierarchy;
+        p_cm = cm;
         p_periods = 1;
         p_observe = false;
         p_san = false;
@@ -217,7 +221,8 @@ let sweep_cmd =
       const run $ Cli.structure_arg $ Cli.stm_arg $ Cli.size_arg
       $ Cli.updates_arg $ Cli.threads_arg $ Cli.duration_arg
       $ Cli.locks_exp_arg $ Cli.shifts_arg $ Cli.hierarchy_arg $ Cli.seed_arg
-      $ Cli.csv_arg $ Cli.jobs_arg $ axis_arg $ values_arg)
+      $ Cli.cm_arg $ Cli.workload_arg $ Cli.csv_arg $ Cli.jobs_arg $ axis_arg
+      $ values_arg)
 
 let tune_cmd =
   let steps_arg =
@@ -352,7 +357,7 @@ let stress_cmd =
         Printf.printf "could not shrink; repro: %s\n" (St.repro_command spec)
   in
   let run stm all_stms structure all_structures seeds seed threads ops
-      key_range max_retries sites window bug san jobs =
+      key_range max_retries cm pattern sites window bug san jobs =
     let base =
       {
         St.default with
@@ -362,6 +367,8 @@ let stress_cmd =
         per_thread = ops;
         key_range;
         max_retries;
+        cm;
+        pattern;
         site_limit = sites;
         bug;
         window;
@@ -453,7 +460,99 @@ let stress_cmd =
       $ all_flag "all-structures"
           "Stress list, rbtree, skiplist and hashset (overrides --structure)."
       $ seeds_arg $ seed_arg $ threads_arg $ ops_arg $ key_range_arg
-      $ max_retries_arg $ sites_arg $ window_arg $ bug_arg $ Cli.san_arg
+      $ max_retries_arg $ Cli.cm_arg $ Cli.workload_arg $ sites_arg
+      $ window_arg $ bug_arg $ Cli.san_arg $ Cli.jobs_arg)
+
+let storm_cmd =
+  let module Storm = Tstm_harness.Storm in
+  let all_stms_flag =
+    Arg.(
+      value & flag
+      & info [ "all-stms" ]
+          ~doc:"Storm tinystm-wb, tinystm-wt and tl2 (overrides --stm).")
+  in
+  let threads_arg =
+    Arg.(
+      value & opt int Storm.default.Storm.nthreads
+      & info [ "t"; "threads" ] ~doc:"Simulated CPUs (paired; >= 2).")
+  in
+  let quota_arg =
+    Arg.(
+      value & opt int Storm.default.Storm.quota
+      & info [ "quota" ] ~doc:"Commits each thread must reach.")
+  in
+  let watchdog_flag =
+    Arg.(
+      value & flag
+      & info [ "watchdog" ]
+          ~doc:
+            "Arm the progress watchdog: livelock/starvation detection plus \
+             the graceful-degradation ladder.")
+  in
+  let expect_livelock_flag =
+    Arg.(
+      value & flag
+      & info [ "expect-livelock" ]
+          ~doc:
+            "Assert the run livelocks: exit non-zero unless the watchdog \
+             detected at least one zero-commit window (with --watchdog) or \
+             some thread missed its quota (without).")
+  in
+  let print_report stm (r : Storm.report) =
+    Format.printf "%-10s %a@." stm Storm.pp_report r
+  in
+  let run stm all_stms threads quota watchdog expect_livelock seed cm jobs =
+    let stms = if all_stms then S.all_stms else [ stm ] in
+    let specs =
+      Array.of_list
+        (List.map
+           (fun stm ->
+             {
+               Storm.default with
+               Storm.stm;
+               cm;
+               nthreads = threads;
+               quota;
+               watchdog;
+               seed;
+             })
+           stms)
+    in
+    let plan = Array.map (fun s -> Job.Storm_run s) specs in
+    let res = Cli.execute ~jobs plan in
+    let failed = ref false in
+    Array.iteri
+      (fun i outcome ->
+        match outcome with
+        | Some (Job.Storm_report r) ->
+            print_report specs.(i).Storm.stm r;
+            let bad =
+              if expect_livelock then
+                if watchdog then r.Storm.livelocks = 0 else r.Storm.completed
+              else not r.Storm.completed
+            in
+            if bad then begin
+              failed := true;
+              Printf.printf "  FAILED: %s; repro: %s\n"
+                (if expect_livelock then "expected a livelock"
+                 else "incomplete (some thread missed its quota)")
+                (Storm.repro_command specs.(i))
+            end
+        | _ ->
+            failed := true;
+            Printf.printf "%s: storm run produced no report\n"
+              specs.(i).Storm.stm)
+      res.Plan.outcomes;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "storm"
+       ~doc:
+         "Hot-spot RMW storm: the progress-guarantee workload (pairs of \
+          threads hammering the same words in opposite orders)")
+    Term.(
+      const run $ Cli.stm_arg $ all_stms_flag $ threads_arg $ quota_arg
+      $ watchdog_flag $ expect_livelock_flag $ Cli.seed_arg $ Cli.cm_arg
       $ Cli.jobs_arg)
 
 let () =
@@ -463,5 +562,12 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            fig_cmd; all_cmd; list_cmd; run_cmd; sweep_cmd; tune_cmd; stress_cmd;
+            fig_cmd;
+            all_cmd;
+            list_cmd;
+            run_cmd;
+            sweep_cmd;
+            tune_cmd;
+            stress_cmd;
+            storm_cmd;
           ]))

@@ -1,0 +1,164 @@
+(* Contention-management policies as pure decision tables.
+
+   Everything here is a total function of plain integers: the STMs own the
+   shared-memory plumbing (priority slots, kill flags, bounded spins) and
+   consult these tables at each conflict site.  Keeping the decisions pure
+   is what makes the policy × site matrix unit-testable without a runtime
+   (see test_cm in test_robustness.ml). *)
+
+type policy = Suicide | Backoff | Karma | Greedy | Serialize of int
+
+let default = Backoff
+
+type action = Abort_now | Wait_retry | Kill_enemy
+
+(* Karma: the transaction that has invested more work wins; the loser is
+   cheaper to re-execute.  Ties must break deterministically on something
+   that differs between the two parties (the tid), otherwise two
+   transactions with equal priorities would kill each other forever —
+   exactly the symmetric livelock the policy exists to break.
+
+   Greedy: smaller ticket = older = winner (Guerraoui et al.'s Greedy
+   manager: seniority is stable across the loser's aborts, so the global
+   oldest transaction always wins every conflict and the system makes
+   progress).  A zero enemy ticket means the enemy published nothing —
+   it is completing or idle, so its lock is about to go; wait for it. *)
+let on_enemy p ~self_prio ~enemy_prio ~self_tid ~enemy_tid =
+  match p with
+  | Suicide -> Abort_now
+  | Backoff | Serialize _ -> Wait_retry
+  | Karma ->
+      if
+        self_prio > enemy_prio
+        || (self_prio = enemy_prio && self_tid < enemy_tid)
+      then Kill_enemy
+      else Wait_retry
+  | Greedy ->
+      if enemy_prio = 0 then Wait_retry
+      else if
+        self_prio < enemy_prio
+        || (self_prio = enemy_prio && self_tid < enemy_tid)
+      then Kill_enemy
+      else Wait_retry
+
+(* The capped exponential back-off both STMs have used since the chaos PR:
+   base doubles per consecutive abort up to the cap, the wait is uniform in
+   [base/2, base] with deterministic per-transaction jitter.  The inner
+   [min attempts 16] bounds the shift: without it, [16 lsl attempts]
+   overflows at attempts >= 59 and the "wait" would go negative. *)
+let backoff_cap = 4096
+
+let backoff_cycles ~rng ~attempts =
+  let base = min backoff_cap (16 lsl min attempts 16) in
+  (base / 2) + Tstm_util.Xrand.int rng ((base / 2) + 1)
+
+let delay_after_abort = function Suicide -> false | _ -> true
+
+let effective_max_retries p max_retries =
+  match p with
+  | Serialize n -> if max_retries = 0 then n else min n max_retries
+  | _ -> max_retries
+
+let needs_prio = function Karma | Greedy -> true | _ -> false
+let can_kill = needs_prio
+
+(* Bounded spin budget for Wait_retry / Kill_enemy.  Must be finite (two
+   transactions blocked on each other's orecs would otherwise deadlock, and
+   a kill victim may be irrevocable and unkillable); large enough to cover
+   a committing enemy's lock hold time in the simulator. *)
+let wait_bound = 64
+
+(* ------------------------------------------------------------------ *)
+(* Name registry (mirrors Tstm_tm.Registry: ordered entries, aliases)  *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  name : string;
+  aliases : string list;
+  doc : string;
+  parse : string option -> (policy, string) result;
+}
+
+let serialize_default = 8
+
+let entries =
+  [
+    {
+      name = "backoff";
+      aliases = [ "timid" ];
+      doc = "bounded wait, then abort self with capped exponential backoff \
+             (default)";
+      parse = (fun _ -> Ok Backoff);
+    };
+    {
+      name = "suicide";
+      aliases = [];
+      doc = "abort self immediately, retry with no backoff";
+      parse = (fun _ -> Ok Suicide);
+    };
+    {
+      name = "karma";
+      aliases = [];
+      doc = "priority from work done; richer kills poorer (ties: lower tid)";
+      parse = (fun _ -> Ok Karma);
+    };
+    {
+      name = "greedy";
+      aliases = [];
+      doc = "ticket-timestamp seniority; older kills younger, younger waits";
+      parse = (fun _ -> Ok Greedy);
+    };
+    {
+      name = "serialize";
+      aliases = [];
+      doc = "backoff, escalating to serial-irrevocable after N aborts \
+             (serialize:N, default 8)";
+      parse =
+        (fun arg ->
+          match arg with
+          | None -> Ok (Serialize serialize_default)
+          | Some a -> (
+              match int_of_string_opt a with
+              | Some n when n >= 1 -> Ok (Serialize n)
+              | _ ->
+                  Error
+                    (Printf.sprintf
+                       "serialize:%s: threshold must be a positive integer" a)));
+    };
+  ]
+
+let names () = List.map (fun e -> e.name) entries
+
+let entry_of name =
+  List.find_opt
+    (fun e -> String.equal e.name name || List.mem name e.aliases)
+    entries
+
+let unknown name =
+  Error
+    (Printf.sprintf "unknown contention manager %S (known: %s)" name
+       (String.concat ", " (names ())))
+
+let of_string s =
+  let base, arg =
+    match String.index_opt s ':' with
+    | None -> (s, None)
+    | Some i ->
+        ( String.sub s 0 i,
+          Some (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  match entry_of base with None -> unknown base | Some e -> e.parse arg
+
+let mem s = match of_string s with Ok _ -> true | Error _ -> false
+
+let to_string = function
+  | Suicide -> "suicide"
+  | Backoff -> "backoff"
+  | Karma -> "karma"
+  | Greedy -> "greedy"
+  | Serialize n -> Printf.sprintf "serialize:%d" n
+
+let describe name =
+  match entry_of name with
+  | Some e -> e.doc
+  | None -> invalid_arg (Printf.sprintf "unknown contention manager %S" name)

@@ -1,0 +1,112 @@
+(** Pluggable contention management: pure decision tables resolved by name.
+
+    The paper (§3.1) leaves contention management as a modular hook and
+    evaluates only timid abort-and-backoff; this module packages that hook
+    as data.  A {!policy} is a pure value; every decision function here is
+    a total function of integers, so the policies are unit-testable in
+    isolation and the STMs only supply the shared-memory plumbing (priority
+    publication, kill flags, bounded spins).
+
+    Policies are resolved by name through a small registry mirroring
+    {!Tstm_tm.Registry}: canonical names, aliases, and an argument syntax
+    [name:arg] for parameterised policies ([serialize:8]). *)
+
+(** The shipped policies.
+
+    - [Suicide]: abort self immediately on any conflict, retry with no
+      back-off.  The most aggressive timid policy; livelocks under
+      symmetric contention.
+    - [Backoff]: the repository's historical default — bounded wait on a
+      foreign lock ([conflict_wait] attempts), then abort self and retry
+      after capped exponential back-off with deterministic jitter.
+    - [Karma]: priority accumulated from work done (reads + writes since
+      the last commit, kept across aborts).  The richer transaction kills
+      the poorer one (remote-abort flag plus a bounded spin for the orec);
+      the poorer one waits briefly, then aborts itself.
+    - [Greedy]: timestamp seniority.  Every transaction draws a ticket at
+      first begin and keeps it across aborts; older kills younger, younger
+      waits for older.
+    - [Serialize n]: like [Backoff], but escalate to serial-irrevocable
+      execution after [n] consecutive aborts — a generalisation of the
+      [max_retries] escalation budget. *)
+type policy = Suicide | Backoff | Karma | Greedy | Serialize of int
+
+val default : policy
+(** [Backoff] — byte-identical to the pre-CM behaviour of both STMs. *)
+
+(** What a transaction should do about an enemy that holds a lock it
+    needs.  [Wait_retry] bounds the wait (an unbounded wait deadlocks two
+    transactions blocked on each other's orecs) and aborts self on
+    expiry. *)
+type action =
+  | Abort_now  (** abort self immediately, no delay before the retry *)
+  | Wait_retry  (** bounded spin for the enemy's release, else abort self *)
+  | Kill_enemy
+      (** flag the enemy for remote abort, bounded spin for the release *)
+
+val on_enemy :
+  policy ->
+  self_prio:int ->
+  enemy_prio:int ->
+  self_tid:int ->
+  enemy_tid:int ->
+  action
+(** The conflict decision table.  Priorities are policy-specific: karma
+    work for [Karma] (ties break toward the lower tid, which is what makes
+    symmetric livelocks impossible), ticket timestamps for [Greedy]
+    (smaller = older = winner; [enemy_prio = 0] means the enemy published
+    no ticket — treat it as completing and wait).  [Suicide] always aborts;
+    [Backoff]/[Serialize] always wait-then-abort. *)
+
+val backoff_cycles : rng:Tstm_util.Xrand.t -> attempts:int -> int
+(** The shared capped exponential back-off formula of both STMs:
+    [base = min 4096 (16 lsl min attempts 16)], result uniform in
+    [\[base/2, base\]] with deterministic jitter from [rng].  The inner
+    [min] keeps the shift bounded, so the result never overflows however
+    large [attempts] grows; see the regression test in
+    [test_robustness.ml]. *)
+
+val backoff_cap : int
+(** Upper bound of {!backoff_cycles} (4096). *)
+
+val delay_after_abort : policy -> bool
+(** Whether the policy backs off after aborting itself ([Suicide] is the
+    only policy that retries immediately). *)
+
+val effective_max_retries : policy -> int -> int
+(** [effective_max_retries p max_retries] folds a [Serialize n] threshold
+    into the instance's escalation budget: the escalation fires at
+    whichever bound is tighter ([n] when [max_retries = 0]).  Other
+    policies return [max_retries] unchanged. *)
+
+val needs_prio : policy -> bool
+(** Whether the policy publishes per-thread priorities ([Karma],
+    [Greedy]); when false the STM touches no extra shared state. *)
+
+val can_kill : policy -> bool
+(** Whether {!on_enemy} can return [Kill_enemy], i.e. whether victims must
+    poll their kill flag ([Karma], [Greedy]). *)
+
+val wait_bound : int
+(** Bounded-spin budget (yields) for [Wait_retry]/[Kill_enemy] spins. *)
+
+(** {1 Name registry} *)
+
+val of_string : string -> (policy, string) result
+(** Resolve a policy name or alias, with an optional [:arg] suffix for
+    parameterised policies (e.g. ["karma"], ["serialize:8"]).  The error
+    message lists the known names. *)
+
+val to_string : policy -> string
+(** Canonical rendering, parseable by {!of_string}
+    (e.g. [Serialize 8] -> ["serialize:8"]). *)
+
+val names : unit -> string list
+(** Canonical policy names in registration (= presentation) order. *)
+
+val mem : string -> bool
+(** Whether {!of_string} would succeed. *)
+
+val describe : string -> string
+(** One-line description of a registered policy name; raises
+    [Invalid_argument] for unknown names. *)

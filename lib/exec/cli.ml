@@ -163,6 +163,41 @@ let hierarchy_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.")
 
+(* Contention managers resolve through the Cm registry, keeping the flag in
+   sync with the set of implemented policies; the value stays the validated
+   name string so it can cross the job Marshal boundary cheaply. *)
+let cm_conv =
+  let parse s =
+    match Tstm_cm.Cm.of_string s with
+    | Ok p -> Ok (Tstm_cm.Cm.to_string p)
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let cm_arg =
+  Arg.(
+    value & opt cm_conv "backoff"
+    & info [ "cm" ] ~docv:"CM"
+        ~doc:
+          "Contention manager: backoff (default, the historical behaviour), \
+           suicide, karma, greedy or serialize[:N].")
+
+let workload_conv =
+  let parse s =
+    match W.pattern_of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (W.pattern_to_string p))
+
+let workload_arg =
+  Arg.(
+    value & opt workload_conv W.Uniform
+    & info [ "workload" ] ~docv:"PATTERN"
+        ~doc:
+          "Adversarial workload pattern: uniform (default), zipf:THETA, \
+           hotspot:N, bimodal:SPAN or rates:F.")
+
 (* ------------------------------------------------------------------ *)
 (* Pooled execution with stderr progress                               *)
 (* ------------------------------------------------------------------ *)

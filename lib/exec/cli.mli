@@ -41,6 +41,16 @@ val shifts_arg : int Cmdliner.Term.t
 val hierarchy_arg : int Cmdliner.Term.t
 val seed_arg : int Cmdliner.Term.t
 
+val cm_arg : string Cmdliner.Term.t
+(** [--cm CM]: contention-manager name validated through
+    {!Tstm_cm.Cm.of_string} and normalised to canonical form; default
+    ["backoff"] (the byte-identical historical behaviour). *)
+
+val workload_arg : Tstm_harness.Workload.pattern Cmdliner.Term.t
+(** [--workload PATTERN]: adversarial key/rate pattern
+    ({!Tstm_harness.Workload.pattern_of_string} forms); default
+    [Uniform]. *)
+
 (** {1 Pooled execution} *)
 
 val execute :

@@ -6,6 +6,7 @@
 
 module F = Tstm_harness.Figures
 module Stress = Tstm_harness.Stress
+module Storm = Tstm_harness.Storm
 module Ablation = Tstm_harness.Ablation
 module Scenario = Tstm_harness.Scenario
 module Workload = Tstm_harness.Workload
@@ -17,6 +18,7 @@ type point = {
   p_n_locks : int;
   p_shifts : int;
   p_hierarchy : int;
+  p_cm : string;
   p_periods : int;
   p_observe : bool;
   p_san : bool;
@@ -26,6 +28,7 @@ type t =
   | Figure_cell of { fig : int; cell : F.cell }
   | Point of point
   | Stress_run of Stress.spec
+  | Storm_run of Storm.spec
   | Ablation_point of Ablation.point
 
 type point_outcome = {
@@ -40,13 +43,19 @@ type outcome =
   | Cell_value of F.value
   | Point_outcome of point_outcome
   | Stress_report of Stress.report
+  | Storm_report of Storm.report
   | Ablation_row of Ablation.row
 
 let run_point p =
+  let cm =
+    match Tstm_cm.Cm.of_string p.p_cm with
+    | Ok policy -> policy
+    | Error msg -> invalid_arg ("Job.run_point: " ^ msg)
+  in
   let body () =
     if not p.p_observe then
       ( Scenario.run_intset ~stm:p.p_stm ~n_locks:p.p_n_locks
-          ~shifts:p.p_shifts ~hierarchy:p.p_hierarchy p.p_spec,
+          ~shifts:p.p_shifts ~hierarchy:p.p_hierarchy ~cm p.p_spec,
         None,
         None )
     else begin
@@ -54,7 +63,7 @@ let run_point p =
       let period = p.p_spec.Workload.duration /. float_of_int n_periods in
       let r, collector, metrics =
         Scenario.run_intset_observed ~stm:p.p_stm ~n_locks:p.p_n_locks
-          ~shifts:p.p_shifts ~hierarchy:p.p_hierarchy ~period ~n_periods
+          ~shifts:p.p_shifts ~hierarchy:p.p_hierarchy ~cm ~period ~n_periods
           p.p_spec
       in
       (r, Some collector, Some metrics)
@@ -72,6 +81,7 @@ let run = function
   | Figure_cell { cell; _ } -> Cell_value (F.eval_cell cell)
   | Point p -> run_point p
   | Stress_run spec -> Stress_report (Stress.run_one spec)
+  | Storm_run spec -> Storm_report (Storm.run_one spec)
   | Ablation_point pt -> Ablation_row (Ablation.run_point pt)
 
 let label = function
@@ -85,8 +95,13 @@ let label = function
         (if p.p_observe then " observed" else "")
         (if p.p_san then " san" else "")
   | Stress_run spec ->
-      Printf.sprintf "stress %s %s seed=%d%s" spec.Stress.stm
+      Printf.sprintf "stress %s %s seed=%d%s%s" spec.Stress.stm
         (Workload.structure_to_string spec.Stress.structure)
         spec.Stress.seed
+        (if spec.Stress.cm <> "backoff" then " cm=" ^ spec.Stress.cm else "")
         (if spec.Stress.san then " san" else "")
+  | Storm_run spec ->
+      Printf.sprintf "storm %s cm=%s seed=%d%s" spec.Storm.stm spec.Storm.cm
+        spec.Storm.seed
+        (if spec.Storm.watchdog then " watchdog" else "")
   | Ablation_point pt -> Ablation.point_label pt

@@ -18,6 +18,9 @@ type point = {
   p_n_locks : int;
   p_shifts : int;
   p_hierarchy : int;
+  p_cm : string;
+      (** contention-manager name ({!Tstm_cm.Cm.of_string} form);
+          ["backoff"] is the byte-identical historical default *)
   p_periods : int;  (** measurement periods when observed *)
   p_observe : bool;  (** record an event collector + per-period metrics *)
   p_san : bool;  (** arm the happens-before sanitizer *)
@@ -27,6 +30,7 @@ type t =
   | Figure_cell of { fig : int; cell : Tstm_harness.Figures.cell }
   | Point of point
   | Stress_run of Tstm_harness.Stress.spec
+  | Storm_run of Tstm_harness.Storm.spec
   | Ablation_point of Tstm_harness.Ablation.point
 
 type point_outcome = {
@@ -41,6 +45,7 @@ type outcome =
   | Cell_value of Tstm_harness.Figures.value
   | Point_outcome of point_outcome
   | Stress_report of Tstm_harness.Stress.report
+  | Storm_report of Tstm_harness.Storm.report
   | Ablation_row of Tstm_harness.Ablation.row
 
 val run : t -> outcome

@@ -66,13 +66,44 @@ struct
       if T.atomically t (fun tx -> ops.op_add tx v) then incr inserted
     done
 
+  (* Per-thread workload-pattern context: the key sampler plus this thread's
+     role under the pattern.  For [Uniform] the sampler consumes the
+     historical RNG stream and [span]/[idle] are zero, so the default path
+     is unchanged. *)
+  type thread_ctx = {
+    draw_key : Tstm_util.Xrand.t -> int;
+    span : int;  (* > 0: run scan transactions of this many lookups *)
+    idle : int;  (* extra local think-time cycles between transactions *)
+  }
+
+  let thread_ctx (spec : Workload.spec) tid =
+    {
+      draw_key =
+        Workload.key_gen spec.Workload.pattern
+          ~key_range:spec.Workload.key_range;
+      span = Workload.reader_span spec.Workload.pattern ~tid;
+      idle = Workload.idle_cycles spec.Workload.pattern ~tid;
+    }
+
   (* One benchmark transaction.  [pending] alternates update transactions
      between inserting a fresh key and removing the key inserted last, so
      every update transaction performs writes and the structure size stays
      (almost) constant — the paper's harness discipline. *)
-  let step t ops (spec : Workload.spec) g pending =
+  let step t ops (spec : Workload.spec) ctx g pending =
+    if ctx.idle > 0 then R.charge_local ctx.idle;
+    if ctx.span > 0 then
+      (* Long-reader role (bimodal pattern): one scan transaction of [span]
+         lookups instead of the paper mix. *)
+      ignore
+        (T.atomically t (fun tx ->
+             let hits = ref 0 in
+             for _ = 1 to ctx.span do
+               if ops.op_contains tx (ctx.draw_key g) then incr hits
+             done;
+             !hits))
+    else
     let p = Tstm_util.Xrand.float g *. 100.0 in
-    let draw () = 1 + Tstm_util.Xrand.int g spec.Workload.key_range in
+    let draw () = ctx.draw_key g in
     if p < spec.Workload.overwrite_pct then
       ignore (T.atomically t (fun tx -> ops.op_overwrite tx (draw ())))
     else if p < spec.Workload.overwrite_pct +. spec.Workload.update_pct then begin
@@ -106,15 +137,21 @@ struct
   (* Random single-operation transactions with invocation/response
      timestamps taken in virtual time just outside [atomically], recorded
      per thread for black-box serializability checking. *)
-  let run_recorded t ops ~nthreads ~per_thread ~key_range ~seed history =
+  let run_recorded ?(pattern = Workload.Uniform) t ops ~nthreads ~per_thread
+      ~key_range ~seed history =
     T.reset_stats t;
     let module H = Tstm_chaos.History in
+    let draw_key = Workload.key_gen pattern ~key_range in
     R.run ~nthreads (fun tid ->
         let g =
           Tstm_util.Xrand.create (Tstm_util.Bitops.mix ((seed * 131071) + tid))
         in
+        (* Operations stay single so the serializability checker applies;
+           the pattern contributes key skew and per-thread think-time. *)
+        let idle = Workload.idle_cycles pattern ~tid in
         for _ = 1 to per_thread do
-          let key = 1 + Tstm_util.Xrand.int g key_range in
+          if idle > 0 then R.charge_local idle;
+          let key = draw_key g in
           let op =
             match Tstm_util.Xrand.int g 4 with
             | 0 | 1 -> H.Add key
@@ -158,11 +195,12 @@ struct
     T.reset_stats t;
     R.run ~nthreads:spec.Workload.nthreads (fun tid ->
         let g = Tstm_util.Xrand.create (thread_seed spec tid) in
+        let ctx = thread_ctx spec tid in
         let pending = ref None in
         let t0 = R.now () in
         let tend = t0 +. spec.Workload.duration in
         while R.now () < tend do
-          step t ops spec g pending
+          step t ops spec ctx g pending
         done)
 
   let run_controlled t ops (spec : Workload.spec) ~period ~n_periods
@@ -175,6 +213,7 @@ struct
     let commit_slot tid = 8 * (tid + 1) in
     R.run ~nthreads:spec.Workload.nthreads (fun tid ->
         let g = Tstm_util.Xrand.create (thread_seed spec tid) in
+        let ctx = thread_ctx spec tid in
         let pending = ref None in
         let mine = ref 0 in
         if tid = 0 then begin
@@ -182,7 +221,7 @@ struct
           let next = ref (R.now () +. period) in
           let last_total = ref 0 in
           while !periods_done < n_periods do
-            step t ops spec g pending;
+            step t ops spec ctx g pending;
             incr mine;
             R.set ctl (commit_slot 0) !mine;
             if R.now () >= !next then begin
@@ -201,7 +240,7 @@ struct
         end
         else
           while R.get ctl stop_slot = 0 do
-            step t ops spec g pending;
+            step t ops spec ctx g pending;
             incr mine;
             R.set ctl (commit_slot tid) !mine
           done)

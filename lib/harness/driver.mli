@@ -26,6 +26,7 @@ module Make
   (** Deterministically fill the structure to [spec.initial_size]. *)
 
   val run_recorded :
+    ?pattern:Workload.pattern ->
     T.t ->
     ops ->
     nthreads:int ->
@@ -35,10 +36,13 @@ module Make
     Tstm_chaos.History.t ->
     unit
   (** Chaos-stress loop: each thread runs [per_thread] random
-      single-operation transactions (add/remove/contains, keys uniform in
+      single-operation transactions (add/remove/contains, keys in
       [1..key_range]) and records each completed operation with its
       invocation/response timestamps into the history for black-box
-      serializability checking.  Statistics are reset on entry. *)
+      serializability checking.  Statistics are reset on entry.
+      [pattern] (default [Uniform], the historical stream) contributes key
+      skew and per-thread think-time; operations stay single so the checker
+      still applies. *)
 
   (** Periodic controller: thread 0 invokes [on_period idx throughput
       stats] after each of the [n_periods] measurement periods of [period]

@@ -29,10 +29,11 @@ end) : Intf.STM = struct
 
   let name = Strategy.name
 
-  let create ?(tuning = Intf.default_tuning) ?max_retries ~memory_words () =
+  let create ?(tuning = Intf.default_tuning) ?max_retries ?cm ?watchdog
+      ~memory_words () =
     Ts.create
       ~config:(config_of_tuning Strategy.strategy tuning)
-      ?max_retries ~memory_words ()
+      ?max_retries ?cm ?watchdog ~memory_words ()
 
   let configure t tuning =
     Ts.set_config t (config_of_tuning Strategy.strategy tuning)
@@ -51,10 +52,11 @@ end)
 module Stm_tl2 : Intf.STM = struct
   include Tl
 
-  let create ?(tuning = Intf.default_tuning) ?max_retries ~memory_words () =
+  let create ?(tuning = Intf.default_tuning) ?max_retries ?cm ?watchdog
+      ~memory_words () =
     (* TL2 has no hierarchical array; those knobs are ignored. *)
     Tl.create ~n_locks:tuning.Intf.n_locks ~shifts:tuning.Intf.shifts
-      ?max_retries ~memory_words ()
+      ?max_retries ?cm ?watchdog ~memory_words ()
 
   let configure _ _ = invalid_arg "tl2: dynamic reconfiguration unsupported"
 end
@@ -79,26 +81,28 @@ let tuning_of ?(n_locks = default_locks) ?(shifts = 0) ?(hierarchy = 1)
     ?(hierarchy2 = 1) () =
   { Intf.n_locks; shifts; hierarchy; hierarchy2 }
 
-let run_intset ~stm ?n_locks ?shifts ?hierarchy ?hierarchy2
+let run_intset ~stm ?n_locks ?shifts ?hierarchy ?hierarchy2 ?cm ?watchdog
     (spec : Workload.spec) =
   let (module M) = Registry.get stm in
   let module D = Driver.Make (R) (M) in
   let tuning = tuning_of ?n_locks ?shifts ?hierarchy ?hierarchy2 () in
   let t =
-    M.create ~tuning ~memory_words:(Workload.memory_words_for spec) ()
+    M.create ~tuning ?cm ?watchdog
+      ~memory_words:(Workload.memory_words_for spec) ()
   in
   let ops = D.make_structure t spec.Workload.structure in
   D.populate t ops spec;
   fst (D.run t ops spec)
 
-let run_intset_observed ~stm ?n_locks ?shifts ?hierarchy ?hierarchy2
-    ?ring_capacity ~period ~n_periods (spec : Workload.spec) =
+let run_intset_observed ~stm ?n_locks ?shifts ?hierarchy ?hierarchy2 ?cm
+    ?watchdog ?ring_capacity ~period ~n_periods (spec : Workload.spec) =
   let (module M) = Registry.get stm in
   let module D = Driver.Make (R) (M) in
   let tuning = tuning_of ?n_locks ?shifts ?hierarchy ?hierarchy2 () in
   let collector = Tstm_obs.Sink.collector ?ring_capacity () in
   let t =
-    M.create ~tuning ~memory_words:(Workload.memory_words_for spec) ()
+    M.create ~tuning ?cm ?watchdog
+      ~memory_words:(Workload.memory_words_for spec) ()
   in
   let ops = D.make_structure t spec.Workload.structure in
   D.populate t ops spec;

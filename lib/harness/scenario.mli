@@ -25,11 +25,15 @@ val run_intset :
   ?shifts:int ->
   ?hierarchy:int ->
   ?hierarchy2:int ->
+  ?cm:Tstm_cm.Cm.policy ->
+  ?watchdog:Tstm_runtime.Watchdog.t ->
   Workload.spec ->
   Workload.result
 (** Create a fresh instance with the given tuning parameters (TL2 ignores
     [hierarchy]), build and populate the spec's structure, run the
-    workload. *)
+    workload.  [cm] (default [Backoff], byte-identical to the historical
+    behaviour) and [watchdog] select the contention manager and arm the
+    progress watchdog. *)
 
 val run_intset_observed :
   stm:string ->
@@ -37,6 +41,8 @@ val run_intset_observed :
   ?shifts:int ->
   ?hierarchy:int ->
   ?hierarchy2:int ->
+  ?cm:Tstm_cm.Cm.policy ->
+  ?watchdog:Tstm_runtime.Watchdog.t ->
   ?ring_capacity:int ->
   period:float ->
   n_periods:int ->

@@ -1,0 +1,49 @@
+(** Hot-spot RMW storm: the progress-guarantee workload.
+
+    Threads run in pairs hammering the same two words with read-modify-write
+    transactions; the two threads of a pair touch the words in {e opposite}
+    orders, the classic symmetric-conflict livelock shape.  A contention
+    manager with no aborter preference ([suicide]) can shadow-box forever —
+    detected by the {!Tstm_runtime.Watchdog} when armed; priority managers
+    ([karma], [greedy]) break the symmetry and every thread completes its
+    commit quota.
+
+    Deterministic from the spec.  A virtual-time deadline bounds livelocked
+    runs: past the deadline each thread's next transaction attempt raises
+    internally (before touching any transactional state) and the thread
+    gives up, so even a zero-progress run terminates and reports
+    [completed = false]. *)
+
+type spec = {
+  stm : string;  (** {!Tstm_tm.Registry} name or alias *)
+  cm : string;  (** contention-manager name, {!Tstm_cm.Cm.of_string} form *)
+  nthreads : int;  (** >= 2; odd counts leave the last thread unpaired *)
+  quota : int;  (** commits each thread must reach *)
+  deadline : float;  (** virtual seconds before a thread gives up *)
+  watchdog : bool;  (** arm a default-parameter progress watchdog *)
+  seed : int;
+}
+
+val default : spec
+(** 4 threads on [tinystm-wb] under [suicide], quota 32, 2 ms deadline,
+    watchdog off. *)
+
+type report = {
+  commits : int array;  (** per-thread commit counts *)
+  completed : bool;  (** every thread reached [quota] before [deadline] *)
+  livelocks : int;  (** watchdog zero-commit windows (0 when unarmed) *)
+  starvations : int;  (** watchdog retry-ceiling crossings *)
+  switches : int;  (** watchdog degradation-level changes *)
+  escalations : int;  (** serial-irrevocable escalations *)
+  killed : int;  (** aborts inflicted by priority contention managers *)
+  elapsed : float;  (** max per-thread virtual end time *)
+}
+
+val repro_command : spec -> string
+(** The `repro storm ...` command line replaying exactly this spec. *)
+
+val run_one : spec -> report
+(** One deterministic storm.  Raises [Invalid_argument] for an unknown
+    contention-manager name or [nthreads < 2]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -21,6 +21,8 @@ type spec = {
   key_range : int;
   seed : int;
   max_retries : int;
+  cm : string;
+  pattern : Workload.pattern;
   chaos : Chaos.config;
   site_limit : int option;
   bug : Chaos.bug option;
@@ -37,6 +39,8 @@ let default =
     key_range = 16;
     seed = 0;
     max_retries = 0;
+    cm = "backoff";
+    pattern = Workload.Uniform;
     chaos = Chaos.default;
     site_limit = None;
     bug = None;
@@ -71,6 +75,11 @@ let repro_command spec =
     Buffer.add_string b (Printf.sprintf " --key-range %d" spec.key_range);
   if spec.max_retries <> default.max_retries then
     Buffer.add_string b (Printf.sprintf " --max-retries %d" spec.max_retries);
+  if spec.cm <> default.cm then
+    Buffer.add_string b (Printf.sprintf " --cm %s" spec.cm);
+  if spec.pattern <> default.pattern then
+    Buffer.add_string b
+      (Printf.sprintf " --workload %s" (Workload.pattern_to_string spec.pattern));
   (match spec.site_limit with
   | Some l -> Buffer.add_string b (Printf.sprintf " --sites %d" l)
   | None -> ());
@@ -87,6 +96,11 @@ let memory_words spec =
 
 let run_one spec =
   let words = memory_words spec in
+  let policy =
+    match Tstm_cm.Cm.of_string spec.cm with
+    | Ok p -> p
+    | Error msg -> invalid_arg ("Stress.run_one: " ^ msg)
+  in
   let history = History.create ~nthreads:spec.nthreads in
   Chaos.with_bug spec.bug (fun () ->
       let final, stats, injected, decisions, san_findings =
@@ -96,12 +110,13 @@ let run_one spec =
               let (module M) = Registry.get spec.stm in
               let module D = Driver.Make (R) (M) in
               let t =
-                M.create ~max_retries:spec.max_retries ~memory_words:words ()
+                M.create ~max_retries:spec.max_retries ~cm:policy
+                  ~memory_words:words ()
               in
               let ops = D.make_structure t spec.structure in
-              D.run_recorded t ops ~nthreads:spec.nthreads
-                ~per_thread:spec.per_thread ~key_range:spec.key_range
-                ~seed:spec.seed history;
+              D.run_recorded ~pattern:spec.pattern t ops
+                ~nthreads:spec.nthreads ~per_thread:spec.per_thread
+                ~key_range:spec.key_range ~seed:spec.seed history;
               let final = M.atomically t (fun tx -> ops.D.op_to_list tx) in
               (final, M.stats t)
             in

@@ -16,6 +16,10 @@ type spec = {
   key_range : int;
   seed : int;  (** chaos plan seed, also salts the per-thread op streams *)
   max_retries : int;  (** 0 = no irrevocable escalation *)
+  cm : string;
+      (** contention-manager name ({!Tstm_cm.Cm.of_string} form); the
+          default ["backoff"] replays historical runs byte-identically *)
+  pattern : Workload.pattern;  (** adversarial key/rate pattern *)
   chaos : Tstm_chaos.Chaos.config;
   site_limit : int option;  (** cap on fired injection sites (shrinking) *)
   bug : Tstm_chaos.Chaos.bug option;  (** deliberate protocol bug to arm *)

@@ -12,6 +12,42 @@ type structure = List | Rbtree | Skiplist | Hashset
 val structure_to_string : structure -> string
 val structure_of_string : string -> structure option
 
+(** Adversarial key/rate patterns (deterministic from the per-thread seed).
+
+    - [Uniform]: the paper's harness — keys uniform in [1, key_range].
+    - [Zipf theta]: zipfian key skew with exponent [theta]; higher = more
+      contention concentrated on the low keys.
+    - [Hotspot n]: 90 % of key draws land on the [n] hottest keys — a
+      single-word storm for small [n].
+    - [Bimodal span]: even threads run long read-only scan transactions of
+      [span] lookups; odd threads run the normal short mix — the classic
+      long-reader vs short-writer starvation shape.
+    - [Asym f]: odd threads issue transactions [f]× slower (extra local
+      think-time), giving per-CPU asymmetric op rates. *)
+type pattern =
+  | Uniform
+  | Zipf of float
+  | Hotspot of int
+  | Bimodal of int
+  | Asym of float
+
+val pattern_to_string : pattern -> string
+(** Canonical parseable form: ["uniform"], ["zipf:1.2"], ["hotspot:4"],
+    ["bimodal:8"], ["rates:2"]. *)
+
+val pattern_of_string : string -> (pattern, string) result
+
+val key_gen : pattern -> key_range:int -> Tstm_util.Xrand.t -> int
+(** Per-thread key sampler.  [Uniform] (and the patterns that keep uniform
+    keys) consumes exactly one [Xrand.int] per key — the historical stream,
+    so default runs replay byte-identically. *)
+
+val reader_span : pattern -> tid:int -> int
+(** Scan length for [tid]'s transactions (0 = run the normal mix). *)
+
+val idle_cycles : pattern -> tid:int -> int
+(** Extra local think-time cycles charged between [tid]'s transactions. *)
+
 type spec = {
   structure : structure;
   initial_size : int;
@@ -21,10 +57,12 @@ type spec = {
   nthreads : int;
   duration : float;  (** measured seconds (virtual under the simulator) *)
   seed : int;
+  pattern : pattern;
 }
 
 val default : spec
-(** List of 256 elements, range 512, 20 % updates, 4 threads, 5 ms. *)
+(** List of 256 elements, range 512, 20 % updates, 4 threads, 5 ms,
+    uniform keys. *)
 
 val make :
   ?structure:structure ->
@@ -35,10 +73,11 @@ val make :
   ?nthreads:int ->
   ?duration:float ->
   ?seed:int ->
+  ?pattern:pattern ->
   unit ->
   spec
 (** [key_range] defaults to twice [initial_size], as in the paper's
-    size-preserving harness. *)
+    size-preserving harness; [pattern] defaults to [Uniform]. *)
 
 val memory_words_for : spec -> int
 (** A safe arena size for the spec's structure and churn. *)

@@ -14,6 +14,9 @@ type t =
       word : int;
       same_word : bool;
     }
+  | Tx_livelock of { window : int }
+  | Tx_starved of { retries : int }
+  | Cm_switch of { level : string }
 
 let name = function
   | Tx_begin -> "tx_begin"
@@ -26,6 +29,9 @@ let name = function
   | Clock_rollover -> "clock_rollover"
   | Tuner_move _ -> "tuner_move"
   | Cache_transfer _ -> "cache_transfer"
+  | Tx_livelock _ -> "tx_livelock"
+  | Tx_starved _ -> "tx_starved"
+  | Cm_switch _ -> "cm_switch"
 
 let args = function
   | Tx_begin | Clock_extend | Clock_rollover -> []
@@ -55,3 +61,6 @@ let args = function
         ("word", string_of_int word);
         ("kind", if same_word then "true-conflict" else "false-sharing");
       ]
+  | Tx_livelock { window } -> [ ("window", string_of_int window) ]
+  | Tx_starved { retries } -> [ ("retries", string_of_int retries) ]
+  | Cm_switch { level } -> [ ("level", level) ]

@@ -27,6 +27,14 @@ type t =
           (** the previous owner last wrote this very word: a true conflict
               rather than false sharing *)
     }
+  | Tx_livelock of { window : int }
+      (** the progress watchdog saw a zero-commit window of [window] cycles *)
+  | Tx_starved of { retries : int }
+      (** a transaction crossed the watchdog's per-transaction retry
+          ceiling *)
+  | Cm_switch of { level : string }
+      (** the watchdog moved the degradation level (and with it the
+          effective contention-management policy) *)
 
 val name : t -> string
 (** Short stable name, used for Chrome-trace event names. *)

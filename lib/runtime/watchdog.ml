@@ -1,0 +1,130 @@
+(* Progress watchdog: a pure virtual-time state machine.
+
+   The STM driver feeds it commit/abort notifications; it detects
+   zero-commit windows (livelock) and per-transaction retry ceilings
+   (starvation) and walks the degradation ladder Normal -> Boosted ->
+   Serialized, with a recovery probe stepping back down once commits
+   resume.  No shared arrays: plain OCaml state, zero virtual cycles, safe
+   under the cooperative simulator. *)
+
+type level = Normal | Boosted | Serialized
+
+let level_to_string = function
+  | Normal -> "normal"
+  | Boosted -> "boosted"
+  | Serialized -> "serialized"
+
+type event =
+  | Livelock of { window : int }
+  | Starved of { tid : int; retries : int }
+  | Switch of { level : level }
+
+(* Per-CPU heartbeat bound: matches the STMs' max_threads ceiling
+   (TinySTM's lock encoding caps tids at 127). *)
+let max_cpus = 128
+
+type t = {
+  window : int;
+  starve_retries : int;
+  recover_windows : int;
+  mutable lvl : level;
+  mutable window_start : int;
+  mutable commits_in_window : int;
+  mutable calm_windows : int;
+  mutable n_livelocks : int;
+  mutable n_starvations : int;
+  mutable n_switches : int;
+  heartbeat : int array;  (* last commit cycle per CPU; -1 = never *)
+}
+
+let create ?(window = 50_000) ?(starve_retries = 64) ?(recover_windows = 2) ()
+    =
+  if window < 1 then invalid_arg "Watchdog.create: window < 1";
+  if starve_retries < 0 then invalid_arg "Watchdog.create: starve_retries < 0";
+  if recover_windows < 1 then
+    invalid_arg "Watchdog.create: recover_windows < 1";
+  {
+    window;
+    starve_retries;
+    recover_windows;
+    lvl = Normal;
+    window_start = 0;
+    commits_in_window = 0;
+    calm_windows = 0;
+    n_livelocks = 0;
+    n_starvations = 0;
+    n_switches = 0;
+    heartbeat = Array.make max_cpus (-1);
+  }
+
+let level t = t.lvl
+let livelocks t = t.n_livelocks
+let starvations t = t.n_starvations
+let switches t = t.n_switches
+
+let last_commit t ~tid =
+  if tid >= 0 && tid < max_cpus then t.heartbeat.(tid) else -1
+
+let set_level t lvl acc =
+  if t.lvl = lvl then acc
+  else begin
+    t.lvl <- lvl;
+    t.n_switches <- t.n_switches + 1;
+    Switch { level = lvl } :: acc
+  end
+
+let escalate t acc =
+  match t.lvl with
+  | Normal -> set_level t Boosted acc
+  | Boosted -> set_level t Serialized acc
+  | Serialized -> acc
+
+let de_escalate t acc =
+  match t.lvl with
+  | Serialized -> set_level t Boosted acc
+  | Boosted -> set_level t Normal acc
+  | Normal -> acc
+
+(* Close the current window if [now] moved past it, judging it by the
+   commits it saw; the next window then starts at [now] (a re-sync rather
+   than a fixed grid, so an idle gap between runs never reports a burst of
+   livelocks).  At most one verdict per notification. *)
+let close_window t ~now acc =
+  if now < t.window_start + t.window then acc
+  else begin
+    let acc =
+      if t.commits_in_window = 0 then begin
+        t.n_livelocks <- t.n_livelocks + 1;
+        t.calm_windows <- 0;
+        escalate t (Livelock { window = t.window } :: acc)
+      end
+      else begin
+        t.calm_windows <- t.calm_windows + 1;
+        if t.calm_windows >= t.recover_windows && t.lvl <> Normal then begin
+          t.calm_windows <- 0;
+          de_escalate t acc
+        end
+        else acc
+      end
+    in
+    t.window_start <- now;
+    t.commits_in_window <- 0;
+    acc
+  end
+
+let note_commit t ~now ~tid =
+  let acc = close_window t ~now [] in
+  t.commits_in_window <- t.commits_in_window + 1;
+  if tid >= 0 && tid < max_cpus then t.heartbeat.(tid) <- now;
+  List.rev acc
+
+let note_abort t ~now ~tid ~retries =
+  let acc = close_window t ~now [] in
+  let acc =
+    if t.starve_retries > 0 && retries = t.starve_retries then begin
+      t.n_starvations <- t.n_starvations + 1;
+      escalate t (Starved { tid; retries } :: acc)
+    end
+    else acc
+  in
+  List.rev acc

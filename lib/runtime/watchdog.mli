@@ -1,0 +1,69 @@
+(** Progress watchdog: livelock and starvation detection in virtual time.
+
+    A pure state machine fed by the STM's transaction driver — [note_commit]
+    on every commit, [note_abort] on every abort.  It watches two progress
+    signals:
+
+    - {b livelock}: a window of [window] virtual cycles elapses with zero
+      commits across all CPUs;
+    - {b starvation}: a single transaction crosses [starve_retries]
+      consecutive aborts.
+
+    Either trigger escalates the degradation {!level} one step
+    ([Normal -> Boosted -> Serialized]); the STM maps levels onto
+    contention-manager behaviour (its configured policy, then karma, then
+    forced serial-irrevocable execution).  A recovery probe de-escalates one
+    step after [recover_windows] consecutive windows that saw commits, so a
+    transient storm does not pin the instance in serial mode.
+
+    All state is plain OCaml (no shared arrays): feeding the watchdog
+    charges no virtual cycles, and under the cooperative simulator the
+    shared record needs no synchronisation.  An STM created without a
+    watchdog pays one [option] pattern match per commit/abort. *)
+
+type level = Normal | Boosted | Serialized
+
+val level_to_string : level -> string
+
+type event =
+  | Livelock of { window : int }
+      (** a zero-commit window of [window] cycles elapsed *)
+  | Starved of { tid : int; retries : int }
+      (** a transaction crossed the per-transaction retry ceiling *)
+  | Switch of { level : level }  (** the degradation level changed *)
+
+type t
+
+val create :
+  ?window:int -> ?starve_retries:int -> ?recover_windows:int -> unit -> t
+(** [window] (default 50_000 cycles = 25 virtual µs) is the zero-commit
+    detection window; [starve_retries] (default 64) the per-transaction
+    retry ceiling (0 disables starvation detection); [recover_windows]
+    (default 2) the number of consecutive commit-bearing windows before one
+    de-escalation step. *)
+
+val level : t -> level
+
+val note_commit : t -> now:int -> tid:int -> event list
+(** Record a commit at virtual cycle [now] on CPU [tid].  May de-escalate
+    (the recovery probe); a level change is returned as a [Switch] event. *)
+
+val note_abort : t -> now:int -> tid:int -> retries:int -> event list
+(** Record an abort: the transaction on [tid] has now aborted [retries]
+    consecutive times.  Returns the detection events this abort triggered
+    (livelock, starvation, level switches), in order, for the caller to
+    surface as observability events. *)
+
+val livelocks : t -> int
+(** Zero-commit windows detected so far. *)
+
+val starvations : t -> int
+(** Retry-ceiling crossings detected so far. *)
+
+val switches : t -> int
+(** Level changes (escalations and de-escalations) so far. *)
+
+val last_commit : t -> tid:int -> int
+(** Per-CPU commit heartbeat: virtual cycle of [tid]'s most recent commit
+    ([-1] if it never committed).  CPUs are tracked up to a fixed bound;
+    out-of-range tids still count toward window totals. *)

@@ -33,6 +33,15 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   let san_on () = San.enabled ()
 
+  (* Contention management: policy decisions are pure tables in [Tstm_cm];
+     the shared-memory plumbing they need (published priorities, remote-kill
+     flags) lives behind [t.cm_active], a plain boolean that is false for the
+     default [Backoff] policy without a watchdog — on that path no extra
+     shared word is ever touched and runs are byte-identical to the
+     pre-CM implementation. *)
+  module Cm = Tstm_cm.Cm
+  module Watchdog = Tstm_runtime.Watchdog
+
   let chaos_point p =
     let n = Chaos.preempt p in
     if n > 0 then R.charge n
@@ -91,6 +100,10 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     mutable obs_start : int;  (* cycles at the current attempt's begin *)
     mutable obs_reads0 : int;  (* stats.reads at the attempt's begin *)
     mutable obs_writes0 : int;
+    (* Contention-management bookkeeping (plain fields: free). *)
+    mutable eff_cm : Cm.policy;  (* effective policy for this attempt *)
+    mutable work0 : int;  (* reads+writes at last commit (karma base) *)
+    mutable ticket : int;  (* greedy seniority ticket; 0 = none drawn *)
   }
 
   and t = {
@@ -106,6 +119,14 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     max_clock : int;
     conflict_wait : int;  (* bounded re-check attempts on a foreign lock *)
     max_retries : int;  (* consecutive aborts before irrevocable escalation *)
+    cm : Cm.policy;
+    watchdog : Watchdog.t option;
+    cm_active : bool;
+      (* kill flags / priorities are live; false on the default path *)
+    kill_flags : R.sarray;  (* per-thread remote-abort flags, padded apart *)
+    prios : R.sarray;
+      (* per-thread published priorities, padded apart; slot 0 doubles as
+         the greedy ticket counter *)
   }
 
   type tx = desc
@@ -120,7 +141,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   let create ?(config = Config.default) ?(max_threads = 64)
       ?(max_clock = Lockenc.max_version - 64) ?(conflict_wait = 0)
-      ?(max_retries = 0) ~memory_words () =
+      ?(max_retries = 0) ?(cm = Cm.default) ?watchdog ~memory_words () =
     Config.validate config;
     if max_threads < 1 || max_threads > Lockenc.max_tid + 1 then
       invalid_arg "Tinystm.create: max_threads out of range";
@@ -130,6 +151,10 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       invalid_arg "Tinystm.create: conflict_wait < 0";
     if max_retries < 0 then
       invalid_arg "Tinystm.create: max_retries < 0";
+    (* A watchdog can boost any policy to karma, so its presence arms the
+       kill/priority plumbing too. *)
+    let cm_active = Cm.can_kill cm || watchdog <> None in
+    let cm_len = if cm_active then flag_slot max_threads + 8 else 1 in
     let t =
       {
         mem = V.create ~words:memory_words;
@@ -143,7 +168,12 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         max_threads;
         max_clock;
         conflict_wait;
-        max_retries;
+        max_retries = Cm.effective_max_retries cm max_retries;
+        cm;
+        watchdog;
+        cm_active;
+        kill_flags = R.sarray_make cm_len 0;
+        prios = R.sarray_make cm_len 0;
       }
     in
     R.sarray_label t.locks "locks";
@@ -151,6 +181,8 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     R.sarray_label t.hier2 "hier2";
     R.sarray_label t.ctl "ctl";
     R.sarray_label t.flags "flags";
+    R.sarray_label t.kill_flags "cm-kill";
+    R.sarray_label t.prios "cm-prio";
     R.sarray_label (V.words t.mem) "mem";
     t
 
@@ -209,6 +241,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         obs_start = 0;
         obs_reads0 = 0;
         obs_writes0 = 0;
+        eff_cm = t.cm;
+        work0 = 0;
+        ticket = 0;
         hmask2 = Hmask.create 1;
         hsnap2 = [||];
         own_inc2 = [||];
@@ -496,16 +531,50 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
      abort, our default; [conflict_wait] attempts enable the alternative).
      The wait must be bounded or two transactions blocked on each other's
      locks would deadlock.  Returns whether the lock was observed free. *)
-  let wait_for_unlock t li =
-    let rec go attempts =
-      if attempts <= 0 then false
-      else begin
-        R.yield ();
-        if Lockenc.is_locked (R.get t.locks li) then go (attempts - 1)
-        else true
-      end
-    in
-    go t.conflict_wait
+  let rec wait_bounded t li attempts =
+    if attempts <= 0 then false
+    else begin
+      R.yield ();
+      if Lockenc.is_locked (R.get t.locks li) then
+        wait_bounded t li (attempts - 1)
+      else true
+    end
+
+  let wait_for_unlock t li = wait_bounded t li t.conflict_wait
+
+  (* What to do about the foreign owner of lock [li].  Returns whether the
+     lock was observed free (retry the barrier) — false means abort self.
+     The [Backoff]/[Serialize] arm is exactly the historical behaviour; the
+     kill-capable policies read both parties' published priorities, consult
+     the pure decision table, and either flag the enemy for remote abort or
+     wait for it, always with a bounded spin (an unbounded wait would
+     deadlock two transactions blocked on each other's orecs, and a kill
+     victim polls its flag only at barrier entry). *)
+  let resolve_conflict t d li enemy =
+    match d.eff_cm with
+    | Cm.Backoff | Cm.Serialize _ -> wait_for_unlock t li
+    | Cm.Suicide -> false
+    | Cm.Karma | Cm.Greedy -> (
+        let self_prio = R.get t.prios (flag_slot d.tid) in
+        let enemy_prio = R.get t.prios (flag_slot enemy) in
+        match
+          Cm.on_enemy d.eff_cm ~self_prio ~enemy_prio ~self_tid:d.tid
+            ~enemy_tid:enemy
+        with
+        | Cm.Abort_now -> false
+        | Cm.Wait_retry -> wait_bounded t li Cm.wait_bound
+        | Cm.Kill_enemy ->
+            R.set t.kill_flags (flag_slot enemy) 1;
+            wait_bounded t li Cm.wait_bound)
+
+  (* Remote-abort poll: a kill-capable enemy flagged us; honour it at the
+     next barrier entry (never while irrevocable — those run alone inside
+     the fence and cannot be aborted). *)
+  let check_killed t d =
+    if t.cm_active && R.get t.kill_flags (flag_slot d.tid) <> 0 then begin
+      R.set t.kill_flags (flag_slot d.tid) 0;
+      abort Stats.Killed
+    end
 
   (* Reading a version newer than the snapshot: extend (update transactions
      with a read set) or abort (read-only transactions cannot revalidate). *)
@@ -528,6 +597,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       R.get (mem_words t) addr
     end
     else begin
+    check_killed t d;
     (* The partition counter must be snapshotted *before* first sampling the
        lock: writers increment their counter right after a successful CAS,
        so an increment absorbed into a snapshot taken here means the
@@ -551,7 +621,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     let l1 = R.get t.locks li in
     if Lockenc.is_locked l1 then begin
       if Lockenc.owner l1 <> d.tid then
-        if wait_for_unlock t li then read_word t d addr
+        if resolve_conflict t d li (Lockenc.owner l1) then read_word t d addr
         else abort Stats.Read_conflict
       else
       (* Read-after-write: we own the covering lock. *)
@@ -611,11 +681,12 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       R.set (mem_words t) addr v
     end
     else begin
+    check_killed t d;
     let li = Config.lock_index t.cfg addr in
     let l = R.get t.locks li in
     if Lockenc.is_locked l then begin
       if Lockenc.owner l <> d.tid then
-        if wait_for_unlock t li then write_word t d addr v
+        if resolve_conflict t d li (Lockenc.owner l) then write_word t d addr v
         else abort Stats.Write_conflict
       else begin
       (* Write-after-write under our own lock. *)
@@ -840,14 +911,13 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   (* Capped exponential back-off with deterministic per-transaction jitter:
      wait uniformly in [base/2, base] with base doubling per consecutive
-     abort up to [backoff_cap].  The lower bound keeps a retry from
+     abort up to [Cm.backoff_cap].  The lower bound keeps a retry from
      re-colliding immediately; the cap keeps the worst-case wait bounded so
-     the retry watchdog, not the back-off, decides when to escalate. *)
-  let backoff_cap = 4096
-
+     the retry watchdog, not the back-off, decides when to escalate.  The
+     formula lives in [Tstm_cm] (shared with TL2 and regression-tested for
+     shift overflow and replay stability). *)
   let backoff d attempts =
-    let base = min backoff_cap (16 lsl min attempts 16) in
-    let n = (base / 2) + Tstm_util.Xrand.int d.rng ((base / 2) + 1) in
+    let n = Cm.backoff_cycles ~rng:d.rng ~attempts in
     d.stats.Stats.backoff_cycles <- d.stats.Stats.backoff_cycles + n;
     R.charge n;
     if not R.is_simulated then
@@ -855,11 +925,90 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         R.yield ()
       done
 
+  (* Watchdog plumbing: feed commit/abort heartbeats, surface its detection
+     events through observability and count forced policy switches.  All
+     plain OCaml when tracing is off; never reached with [watchdog = None]. *)
+  let feed_watchdog d evs =
+    List.iter
+      (fun ev ->
+        (match ev with
+        | Watchdog.Switch _ ->
+            d.stats.Stats.cm_switches <- d.stats.Stats.cm_switches + 1
+        | Watchdog.Livelock _ | Watchdog.Starved _ -> ());
+        if obs_on () then
+          emit
+            (match ev with
+            | Watchdog.Livelock { window } -> Obs.Event.Tx_livelock { window }
+            | Watchdog.Starved { retries; _ } ->
+                Obs.Event.Tx_starved { retries }
+            | Watchdog.Switch { level } ->
+                Obs.Event.Cm_switch { level = Watchdog.level_to_string level }))
+      evs
+
+  let note_commit_wd t d =
+    match t.watchdog with
+    | None -> ()
+    | Some w ->
+        feed_watchdog d (Watchdog.note_commit w ~now:(R.now_cycles ()) ~tid:d.tid)
+
+  let note_abort_wd t d ~retries =
+    match t.watchdog with
+    | None -> ()
+    | Some w ->
+        feed_watchdog d
+          (Watchdog.note_abort w ~now:(R.now_cycles ()) ~tid:d.tid ~retries)
+
+  (* Per-attempt contention-management prologue: compute the effective
+     policy (the watchdog's [Boosted] level forces a kill-capable policy),
+     drop any stale remote-kill flag, and publish this attempt's priority.
+     On the default path this is two plain reads and a field write. *)
+  let cm_begin_attempt t d =
+    d.eff_cm <-
+      (match t.watchdog with
+      | None -> t.cm
+      | Some w -> (
+          match Watchdog.level w with
+          | Watchdog.Boosted -> if Cm.can_kill t.cm then t.cm else Cm.Karma
+          | Watchdog.Normal | Watchdog.Serialized -> t.cm));
+    if t.cm_active then begin
+      R.set t.kill_flags (flag_slot d.tid) 0;
+      if Cm.needs_prio d.eff_cm then begin
+        let p =
+          match d.eff_cm with
+          | Cm.Greedy ->
+              (* Seniority ticket, drawn once and kept across aborts. *)
+              if d.ticket = 0 then
+                d.ticket <- R.fetch_add t.prios 0 1 + 1;
+              d.ticket
+          | _ ->
+              (* Karma: work invested since the last commit, aborted
+                 attempts included; [+ 1] keeps live publications nonzero. *)
+              d.stats.Stats.reads + d.stats.Stats.writes - d.work0 + 1
+        in
+        R.set t.prios (flag_slot d.tid) p
+      end
+    end
+
+  (* Commit-side epilogue: retire the published priority and ticket, reset
+     the karma base.  Plain field writes plus (when armed) one shared
+     store. *)
+  let cm_end_commit t d =
+    d.work0 <- d.stats.Stats.reads + d.stats.Stats.writes;
+    d.ticket <- 0;
+    if t.cm_active && Cm.needs_prio d.eff_cm then
+      R.set t.prios (flag_slot d.tid) 0
+
   let atomically_stamped ?(read_only = false) t f =
     let d = desc_for t in
     if d.in_tx then invalid_arg "Tinystm.atomically: nested transaction";
     let rec attempt tries =
-      if t.max_retries > 0 && tries >= t.max_retries then escalate tries
+      let forced_serial =
+        match t.watchdog with
+        | None -> false
+        | Some w -> Watchdog.level w = Watchdog.Serialized
+      in
+      if forced_serial || (t.max_retries > 0 && tries >= t.max_retries) then
+        escalate tries
       else begin
       enter_fence t d;
       if
@@ -869,6 +1018,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       R.charge_local c_tx_begin;
       d.in_tx <- true;
       d.read_only <- read_only;
+      cm_begin_attempt t d;
       if chaos_on () then chaos_point Chaos.Clock_read;
       d.rv <- R.get t.ctl clock_slot;
       if san_on () then begin
@@ -904,6 +1054,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
                    { read_only; reads; writes; retries = tries });
               Obs.Sink.note_commit ~lat ~retries:tries ~reads ~writes
             end;
+            Stats.record_retries d.stats tries;
+            cm_end_commit t d;
+            note_commit_wd t d;
             leave_fence t d;
             (v, d.last_stamp)
         | exception Abort_exn reason ->
@@ -920,8 +1073,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
             rollback ~record:reason t d;
             leave_fence t d;
             if chaos_on () then chaos_point Chaos.Abort;
+            note_abort_wd t d ~retries:(tries + 1);
             if reason = Stats.Rollover then do_rollover t
-            else backoff d tries;
+            else if Cm.delay_after_abort d.eff_cm then backoff d tries;
             attempt (tries + 1)
         | exception e ->
             (* A user exception aborts the transaction and propagates. *)
@@ -998,6 +1152,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
                      { read_only; reads; writes; retries = tries });
                 Obs.Sink.note_commit ~lat ~retries:tries ~reads ~writes
               end;
+              Stats.record_retries d.stats tries;
+              cm_end_commit t d;
+              note_commit_wd t d;
               d.irrevocable <- false;
               cleanup d;
               if san_on () then San.tx_exit ~cpu:d.tid ~committed:true;

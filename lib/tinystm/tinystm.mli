@@ -31,6 +31,8 @@ module Make (R : Tstm_runtime.Runtime_intf.S) : sig
     ?max_clock:int ->
     ?conflict_wait:int ->
     ?max_retries:int ->
+    ?cm:Tstm_cm.Cm.policy ->
+    ?watchdog:Tstm_runtime.Watchdog.t ->
     memory_words:int ->
     unit ->
     t
@@ -45,7 +47,13 @@ module Make (R : Tstm_runtime.Runtime_intf.S) : sig
       row escalates to a serial-irrevocable execution inside the quiescence
       fence — it runs alone, cannot abort, and counts as an escalation in
       {!Tstm_tm.Tm_stats}, so pathological workloads degrade to serial
-      execution instead of livelocking. *)
+      execution instead of livelocking.  [cm] (default
+      {!Tstm_cm.Cm.default} = [Backoff], byte-identical to the historical
+      behaviour) picks the contention-management policy; [Serialize n]
+      additionally tightens the retry budget to [n].  [watchdog] arms the
+      progress watchdog: commit/abort heartbeats feed it and its degradation
+      level overrides [cm] ([Boosted] forces a kill-capable policy,
+      [Serialized] forces immediate irrevocable escalation). *)
 
   val memory : t -> V.t
   (** The underlying word memory (for population and inspection). *)

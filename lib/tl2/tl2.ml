@@ -28,6 +28,17 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   let san_on () = San.enabled ()
 
+  (* Contention management (same plumbing discipline as TinySTM, adapted to
+     commit-time locking: a locked orec always belongs to a transaction that
+     is mid-commit and therefore finite and unkillable, so the kill-capable
+     policies degenerate to "the winner waits for the release, the loser
+     aborts and clears the road" — seniority still yields a total order, so
+     the globally oldest transaction always gets through).  With the default
+     [Backoff] policy and no watchdog, [cm_active] is false and no extra
+     shared word is ever touched. *)
+  module Cm = Tstm_cm.Cm
+  module Watchdog = Tstm_runtime.Watchdog
+
   (* TL2 lock words: unlocked = [version | 0]; locked = [tid | 1].  No
      incarnation numbers (write-back never dirties memory before commit) and
      no write-set payload (there is no per-lock chain — that is TinySTM's
@@ -72,6 +83,10 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     mutable obs_start : int;
     mutable obs_reads0 : int;
     mutable obs_writes0 : int;
+    (* Contention-management bookkeeping (plain fields: free). *)
+    mutable eff_cm : Cm.policy;  (* effective policy for this attempt *)
+    mutable work0 : int;  (* reads+writes at last commit (karma base) *)
+    mutable ticket : int;  (* greedy seniority ticket; 0 = none drawn *)
   }
 
   and t = {
@@ -84,6 +99,12 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     descs : desc option array;
     max_threads : int;
     max_retries : int;  (* consecutive aborts before irrevocable escalation *)
+    cm : Cm.policy;
+    watchdog : Watchdog.t option;
+    cm_active : bool;  (* priorities are live; false on the default path *)
+    prios : R.sarray;
+      (* per-thread published priorities, padded apart; slot 0 doubles as
+         the greedy ticket counter *)
   }
 
   type tx = desc
@@ -94,13 +115,14 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
   let flag_slot tid = (tid + 1) * 8
 
   let create ?(n_locks = 1 lsl 16) ?(shifts = 0) ?(max_threads = 64)
-      ?(max_retries = 0) ~memory_words () =
+      ?(max_retries = 0) ?(cm = Cm.default) ?watchdog ~memory_words () =
     if not (Tstm_util.Bitops.is_pow2 n_locks) then
       invalid_arg "Tl2.create: n_locks must be a power of two";
     if shifts < 0 || shifts > 16 then
       invalid_arg "Tl2.create: shifts out of range";
     if max_threads < 1 then invalid_arg "Tl2.create: max_threads < 1";
     if max_retries < 0 then invalid_arg "Tl2.create: max_retries < 0";
+    let cm_active = Cm.can_kill cm || watchdog <> None in
     let t =
       {
         mem = V.create ~words:memory_words;
@@ -111,12 +133,18 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         flags = R.sarray_make (flag_slot max_threads + 8) 0;
         descs = Array.make max_threads None;
         max_threads;
-        max_retries;
+        max_retries = Cm.effective_max_retries cm max_retries;
+        cm;
+        watchdog;
+        cm_active;
+        prios =
+          R.sarray_make (if cm_active then flag_slot max_threads + 8 else 1) 0;
       }
     in
     R.sarray_label t.locks "locks";
     R.sarray_label t.ctl "ctl";
     R.sarray_label t.flags "flags";
+    R.sarray_label t.prios "cm-prio";
     R.sarray_label (V.words t.mem) "mem";
     t
 
@@ -147,6 +175,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       obs_start = 0;
       obs_reads0 = 0;
       obs_writes0 = 0;
+      eff_cm = t.cm;
+      work0 = 0;
+      ticket = 0;
     }
 
   let desc_for t =
@@ -173,6 +204,36 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     d.in_tx <- false
 
   let abort reason = raise (Abort_exn reason)
+
+  let rec wait_bounded t li attempts =
+    if attempts <= 0 then false
+    else begin
+      R.yield ();
+      if is_locked (R.get t.locks li) then wait_bounded t li (attempts - 1)
+      else true
+    end
+
+  (* What to do about the committing owner of lock [li].  Returns whether
+     the lock was observed free (re-run the failing step) — false means
+     abort self.  The historical TL2 policy (and our [Backoff]/[Serialize]/
+     [Suicide] arms) aborts immediately: a locked orec belongs to a
+     transaction mid-commit.  The kill-capable policies instead let the
+     winner of the pure decision table wait out the enemy's (finite) commit
+     while the loser aborts at once, clearing its own commit locks out of
+     the winner's way — seniority is a total order, so the globally oldest
+     transaction always gets through. *)
+  let conflict_wait_for t d li enemy =
+    match d.eff_cm with
+    | Cm.Backoff | Cm.Serialize _ | Cm.Suicide -> false
+    | Cm.Karma | Cm.Greedy -> (
+        let self_prio = R.get t.prios (flag_slot d.tid) in
+        let enemy_prio = R.get t.prios (flag_slot enemy) in
+        match
+          Cm.on_enemy d.eff_cm ~self_prio ~enemy_prio ~self_tid:d.tid
+            ~enemy_tid:enemy
+        with
+        | Cm.Kill_enemy -> wait_bounded t li Cm.wait_bound
+        | Cm.Abort_now | Cm.Wait_retry -> false)
 
   (* ------------------------------------------------------------------ *)
   (* Quiescence fence (for irrevocable escalation)                       *)
@@ -268,10 +329,12 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     | None ->
         let li = lock_index t addr in
         let l1 = R.get t.locks li in
-        if is_locked l1 then
+        if is_locked l1 then begin
           (* TL2 has no encounter-time ownership: a locked orec always
              belongs to a committing transaction. *)
-          abort Stats.Read_conflict
+          if conflict_wait_for t d li (owner l1) then read_word t d addr
+          else abort Stats.Read_conflict
+        end
         else begin
           let v = R.get (V.words t.mem) addr in
           let l2 = R.get t.locks li in
@@ -364,31 +427,37 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   let acquire_write_locks t d =
     let n = G.length d.w_addr in
-    for k = 0 to n - 1 do
-      let li = lock_index t (G.get d.w_addr k) in
-      if not (owns_lock d li) then begin
-        let l = R.get t.locks li in
-        if is_locked l then begin
-          (* Owned by another committing transaction: abort immediately
-             (the reference implementation's default policy). *)
+    let rec take li =
+      let l = R.get t.locks li in
+      if is_locked l then begin
+        (* Owned by another committing transaction: abort immediately
+           (the reference implementation's default policy), unless the
+           contention manager rules that we out-rank the owner and should
+           wait out its commit instead. *)
+        if conflict_wait_for t d li (owner l) then take li
+        else begin
+          release_acquired t d;
+          abort Stats.Write_conflict
+        end
+      end
+      else begin
+        if chaos_on () then chaos_point Chaos.Lock_cas;
+        if not (R.cas t.locks li l (locked_by d.tid)) then begin
           release_acquired t d;
           abort Stats.Write_conflict
         end
         else begin
-          if chaos_on () then chaos_point Chaos.Lock_cas;
-          if not (R.cas t.locks li l (locked_by d.tid)) then begin
-            release_acquired t d;
-            abort Stats.Write_conflict
-          end
-          else begin
           if san_on () then San.lock_acquire ~cpu:d.tid ~lock:li;
           if chaos_on () then chaos_point Chaos.Lock_cas;
           if obs_on () then emit (Obs.Event.Lock_acquire { lock = li });
           G.push d.l_idx li;
           G.push d.l_old l
-          end
         end
       end
+    in
+    for k = 0 to n - 1 do
+      let li = lock_index t (G.get d.w_addr k) in
+      if not (owns_lock d li) then take li
     done
 
   let validate t d =
@@ -478,13 +547,10 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
   (* ------------------------------------------------------------------ *)
 
   (* Capped exponential back-off with deterministic per-transaction jitter
-     (same scheme as TinySTM): wait uniformly in [base/2, base], base
-     doubling per consecutive abort up to a cap. *)
-  let backoff_cap = 4096
-
+     (the formula is shared with TinySTM through [Tstm_cm]): wait uniformly
+     in [base/2, base], base doubling per consecutive abort up to a cap. *)
   let backoff d attempts =
-    let base = min backoff_cap (16 lsl min attempts 16) in
-    let n = (base / 2) + Tstm_util.Xrand.int d.rng ((base / 2) + 1) in
+    let n = Cm.backoff_cycles ~rng:d.rng ~attempts in
     d.stats.Stats.backoff_cycles <- d.stats.Stats.backoff_cycles + n;
     R.charge n;
     if not R.is_simulated then
@@ -492,16 +558,84 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         R.yield ()
       done
 
+  (* Watchdog plumbing (same shape as TinySTM's): feed commit/abort
+     heartbeats, surface detections through observability, count forced
+     policy switches.  Never reached with [watchdog = None]. *)
+  let feed_watchdog d evs =
+    List.iter
+      (fun ev ->
+        (match ev with
+        | Watchdog.Switch _ ->
+            d.stats.Stats.cm_switches <- d.stats.Stats.cm_switches + 1
+        | Watchdog.Livelock _ | Watchdog.Starved _ -> ());
+        if obs_on () then
+          emit
+            (match ev with
+            | Watchdog.Livelock { window } -> Obs.Event.Tx_livelock { window }
+            | Watchdog.Starved { retries; _ } ->
+                Obs.Event.Tx_starved { retries }
+            | Watchdog.Switch { level } ->
+                Obs.Event.Cm_switch { level = Watchdog.level_to_string level }))
+      evs
+
+  let note_commit_wd t d =
+    match t.watchdog with
+    | None -> ()
+    | Some w ->
+        feed_watchdog d (Watchdog.note_commit w ~now:(R.now_cycles ()) ~tid:d.tid)
+
+  let note_abort_wd t d ~retries =
+    match t.watchdog with
+    | None -> ()
+    | Some w ->
+        feed_watchdog d
+          (Watchdog.note_abort w ~now:(R.now_cycles ()) ~tid:d.tid ~retries)
+
+  (* Per-attempt prologue: effective policy (a watchdog in [Boosted] forces
+     a kill-capable one) and priority publication.  Two plain reads and a
+     field write on the default path. *)
+  let cm_begin_attempt t d =
+    d.eff_cm <-
+      (match t.watchdog with
+      | None -> t.cm
+      | Some w -> (
+          match Watchdog.level w with
+          | Watchdog.Boosted -> if Cm.can_kill t.cm then t.cm else Cm.Karma
+          | Watchdog.Normal | Watchdog.Serialized -> t.cm));
+    if t.cm_active && Cm.needs_prio d.eff_cm then begin
+      let p =
+        match d.eff_cm with
+        | Cm.Greedy ->
+            if d.ticket = 0 then d.ticket <- R.fetch_add t.prios 0 1 + 1;
+            d.ticket
+        | _ -> d.stats.Stats.reads + d.stats.Stats.writes - d.work0 + 1
+      in
+      R.set t.prios (flag_slot d.tid) p
+    end
+
+  let cm_end_commit t d =
+    d.work0 <- d.stats.Stats.reads + d.stats.Stats.writes;
+    d.ticket <- 0;
+    if t.cm_active && Cm.needs_prio d.eff_cm then
+      R.set t.prios (flag_slot d.tid) 0
+
   let atomically ?(read_only = false) t f =
     let d = desc_for t in
     if d.in_tx then invalid_arg "Tl2.atomically: nested transaction";
     let rec attempt tries =
-      if t.max_retries > 0 && tries >= t.max_retries then escalate tries
+      let forced_serial =
+        match t.watchdog with
+        | None -> false
+        | Some w -> Watchdog.level w = Watchdog.Serialized
+      in
+      if forced_serial || (t.max_retries > 0 && tries >= t.max_retries) then
+        escalate tries
       else begin
       enter_fence t d;
       R.charge_local c_tx_begin;
       d.in_tx <- true;
       d.read_only <- read_only;
+      cm_begin_attempt t d;
       if chaos_on () then chaos_point Chaos.Clock_read;
       d.rv <- R.get t.ctl clock_slot;
       if san_on () then begin
@@ -528,6 +662,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
               (Obs.Event.Tx_commit { read_only; reads; writes; retries = tries });
             Obs.Sink.note_commit ~lat ~retries:tries ~reads ~writes
           end;
+          Stats.record_retries d.stats tries;
+          cm_end_commit t d;
+          note_commit_wd t d;
           leave_fence t d;
           v
       | exception Abort_exn reason ->
@@ -544,7 +681,8 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
           rollback ~record:reason t d;
           leave_fence t d;
           if chaos_on () then chaos_point Chaos.Abort;
-          backoff d tries;
+          note_abort_wd t d ~retries:(tries + 1);
+          if Cm.delay_after_abort d.eff_cm then backoff d tries;
           attempt (tries + 1)
       | exception e ->
           rollback t d;
@@ -595,6 +733,9 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
                      { read_only; reads; writes; retries = tries });
                 Obs.Sink.note_commit ~lat ~retries:tries ~reads ~writes
               end;
+              Stats.record_retries d.stats tries;
+              cm_end_commit t d;
+              note_commit_wd t d;
               d.irrevocable <- false;
               cleanup d;
               if san_on () then San.tx_exit ~cpu:d.tid ~committed:true;

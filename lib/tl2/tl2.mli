@@ -26,6 +26,8 @@ module Make (R : Tstm_runtime.Runtime_intf.S) : sig
     ?shifts:int ->
     ?max_threads:int ->
     ?max_retries:int ->
+    ?cm:Tstm_cm.Cm.policy ->
+    ?watchdog:Tstm_runtime.Watchdog.t ->
     memory_words:int ->
     unit ->
     t
@@ -34,7 +36,10 @@ module Make (R : Tstm_runtime.Runtime_intf.S) : sig
       per-stripe lock mapping (default 0).  [max_retries] (default 0 = never)
       is the retry budget after which a transaction escalates to a
       serial-irrevocable execution inside a quiescence fence, exactly as in
-      {!Tinystm.Make.create}. *)
+      {!Tinystm.Make.create}.  [cm] and [watchdog] mirror TinySTM's, with one
+      adaptation to commit-time locking: a locked orec always belongs to a
+      finite, unkillable committing transaction, so kill-capable policies
+      degenerate to bounded winner-waits / loser-aborts. *)
 
   val memory : t -> V.t
   val clock_value : t -> int

@@ -67,12 +67,25 @@ end
 module type STM = sig
   include TM
 
-  val create : ?tuning:tuning -> ?max_retries:int -> memory_words:int -> unit -> t
+  val create :
+    ?tuning:tuning ->
+    ?max_retries:int ->
+    ?cm:Tstm_cm.Cm.policy ->
+    ?watchdog:Tstm_runtime.Watchdog.t ->
+    memory_words:int ->
+    unit ->
+    t
   (** Build an instance over a fresh memory arena.  [tuning] defaults to
       {!default_tuning} (2{^16} locks, no shifts, hierarchy disabled) —
       the paper's production default; knobs the implementation lacks are
       ignored.  [max_retries] (default 0 = never) is the retry budget
-      before a transaction escalates to serial-irrevocable execution. *)
+      before a transaction escalates to serial-irrevocable execution.
+      [cm] (default {!Tstm_cm.Cm.default} = [Backoff]) selects the
+      contention-management policy; the default is byte-identical to the
+      historical behaviour.  [watchdog], when given, receives
+      commit/abort heartbeats and its degradation level overrides [cm]
+      ([Boosted] forces [Karma], [Serialized] forces immediate
+      escalation). *)
 
   val configure : t -> tuning -> unit
   (** Re-tune a quiescent instance in place (the clock roll-over fence of

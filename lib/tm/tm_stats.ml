@@ -3,15 +3,31 @@ type abort_reason =
   | Write_conflict
   | Validation_failed
   | Rollover
+  | Killed
 
 let abort_reason_to_string = function
   | Read_conflict -> "read-conflict"
   | Write_conflict -> "write-conflict"
   | Validation_failed -> "validation"
   | Rollover -> "rollover"
+  | Killed -> "killed"
 
 let all_abort_reasons =
-  [ Read_conflict; Write_conflict; Validation_failed; Rollover ]
+  [ Read_conflict; Write_conflict; Validation_failed; Rollover; Killed ]
+
+let retry_hist_buckets = 16
+
+(* Bucket 0 = committed first try; bucket k>=1 covers retry counts in
+   [2^(k-1), 2^k), saturating in the last bucket. *)
+let retry_bucket retries =
+  if retries <= 0 then 0
+  else begin
+    let k = ref 1 in
+    while retries lsr !k > 0 && !k < retry_hist_buckets - 1 do
+      incr k
+    done;
+    !k
+  end
 
 type t = {
   mutable commits : int;
@@ -28,6 +44,10 @@ type t = {
   mutable val_locks_skipped : int;
   mutable escalations : int;
   mutable backoff_cycles : int;
+  mutable aborts_killed : int;
+  mutable max_retries_seen : int;
+  mutable cm_switches : int;
+  retry_hist : int array;
 }
 
 let create () =
@@ -46,6 +66,10 @@ let create () =
     val_locks_skipped = 0;
     escalations = 0;
     backoff_cycles = 0;
+    aborts_killed = 0;
+    max_retries_seen = 0;
+    cm_switches = 0;
+    retry_hist = Array.make retry_hist_buckets 0;
   }
 
 let reset t =
@@ -62,17 +86,27 @@ let reset t =
   t.val_locks_processed <- 0;
   t.val_locks_skipped <- 0;
   t.escalations <- 0;
-  t.backoff_cycles <- 0
+  t.backoff_cycles <- 0;
+  t.aborts_killed <- 0;
+  t.max_retries_seen <- 0;
+  t.cm_switches <- 0;
+  Array.fill t.retry_hist 0 retry_hist_buckets 0
 
 let aborts t =
   t.aborts_read_conflict + t.aborts_write_conflict + t.aborts_validation
-  + t.aborts_rollover
+  + t.aborts_rollover + t.aborts_killed
 
 let record_abort t = function
   | Read_conflict -> t.aborts_read_conflict <- t.aborts_read_conflict + 1
   | Write_conflict -> t.aborts_write_conflict <- t.aborts_write_conflict + 1
   | Validation_failed -> t.aborts_validation <- t.aborts_validation + 1
   | Rollover -> t.aborts_rollover <- t.aborts_rollover + 1
+  | Killed -> t.aborts_killed <- t.aborts_killed + 1
+
+let record_retries t retries =
+  if retries > t.max_retries_seen then t.max_retries_seen <- retries;
+  let b = retry_bucket retries in
+  t.retry_hist.(b) <- t.retry_hist.(b) + 1
 
 let add_into ~dst t =
   dst.commits <- dst.commits + t.commits;
@@ -89,7 +123,14 @@ let add_into ~dst t =
   dst.val_locks_processed <- dst.val_locks_processed + t.val_locks_processed;
   dst.val_locks_skipped <- dst.val_locks_skipped + t.val_locks_skipped;
   dst.escalations <- dst.escalations + t.escalations;
-  dst.backoff_cycles <- dst.backoff_cycles + t.backoff_cycles
+  dst.backoff_cycles <- dst.backoff_cycles + t.backoff_cycles;
+  dst.aborts_killed <- dst.aborts_killed + t.aborts_killed;
+  if t.max_retries_seen > dst.max_retries_seen then
+    dst.max_retries_seen <- t.max_retries_seen;
+  dst.cm_switches <- dst.cm_switches + t.cm_switches;
+  for i = 0 to retry_hist_buckets - 1 do
+    dst.retry_hist.(i) <- dst.retry_hist.(i) + t.retry_hist.(i)
+  done
 
 let copy t =
   let c = create () in
@@ -107,14 +148,28 @@ let per_commit n t =
 let reads_per_commit t = per_commit t.reads t
 let writes_per_commit t = per_commit t.writes t
 
+let pp_retry_hist ppf t =
+  let last =
+    let i = ref (retry_hist_buckets - 1) in
+    while !i > 0 && t.retry_hist.(!i) = 0 do
+      decr i
+    done;
+    !i
+  in
+  for i = 0 to last do
+    Format.fprintf ppf "%s%d" (if i = 0 then "" else "/") t.retry_hist.(i)
+  done
+
 let pp ppf t =
   Format.fprintf ppf
-    "commits=%d (ro=%d) aborts=%d [rc=%d wc=%d val=%d roll=%d] reads=%d \
-     writes=%d ext=%d validations=%d val-locks processed=%d skipped=%d \
-     escalations=%d backoff-cycles=%d | abort-rate=%.1f%% \
-     reads/commit=%.1f writes/commit=%.1f"
+    "commits=%d (ro=%d) aborts=%d [rc=%d wc=%d val=%d roll=%d kill=%d] \
+     reads=%d writes=%d ext=%d validations=%d val-locks processed=%d \
+     skipped=%d escalations=%d backoff-cycles=%d max-retries=%d \
+     cm-switches=%d retry-hist=%a | abort-rate=%.1f%% reads/commit=%.1f \
+     writes/commit=%.1f"
     t.commits t.commits_read_only (aborts t) t.aborts_read_conflict
-    t.aborts_write_conflict t.aborts_validation t.aborts_rollover t.reads
-    t.writes t.extensions t.validations t.val_locks_processed
-    t.val_locks_skipped t.escalations t.backoff_cycles (abort_rate_pct t)
+    t.aborts_write_conflict t.aborts_validation t.aborts_rollover
+    t.aborts_killed t.reads t.writes t.extensions t.validations
+    t.val_locks_processed t.val_locks_skipped t.escalations t.backoff_cycles
+    t.max_retries_seen t.cm_switches pp_retry_hist t (abort_rate_pct t)
     (reads_per_commit t) (writes_per_commit t)

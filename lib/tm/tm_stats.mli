@@ -9,9 +9,18 @@ type abort_reason =
   | Write_conflict  (** write found a lock owned by another transaction *)
   | Validation_failed  (** commit-time (or extension) validation failed *)
   | Rollover  (** aborted to participate in a clock roll-over fence *)
+  | Killed  (** aborted remotely by a contention manager's kill decision *)
 
 val abort_reason_to_string : abort_reason -> string
 val all_abort_reasons : abort_reason list
+
+val retry_hist_buckets : int
+(** Number of log2 buckets in {!t.retry_hist} (16). *)
+
+val retry_bucket : int -> int
+(** [retry_bucket retries] maps a per-transaction retry count to its
+    histogram bucket: bucket 0 is first-try commits, bucket [k >= 1] covers
+    [\[2^(k-1), 2^k)], saturating in the last bucket. *)
 
 (** One thread's counters.  Mutable, owned by a single thread; aggregate with
     {!add_into} after the threads have quiesced. *)
@@ -32,6 +41,17 @@ type t = {
       (** transactions that exhausted their retry budget and committed on the
           serial-irrevocable slow path *)
   mutable backoff_cycles : int;  (** cycles spent in contention back-off *)
+  mutable aborts_killed : int;
+      (** aborts forced remotely by a kill-capable contention manager *)
+  mutable max_retries_seen : int;
+      (** worst per-transaction retry count before a commit — the fairness
+          headline: a large value with a healthy abort rate means one
+          transaction starved *)
+  mutable cm_switches : int;
+      (** contention-manager policy switches forced by the watchdog *)
+  retry_hist : int array;
+      (** per-commit retry-count histogram over {!retry_hist_buckets} log2
+          buckets; see {!retry_bucket} *)
 }
 
 val create : unit -> t
@@ -40,8 +60,14 @@ val aborts : t -> int
 (** Total aborts across all reasons. *)
 
 val record_abort : t -> abort_reason -> unit
+
+val record_retries : t -> int -> unit
+(** Record, at commit time, how many retries the transaction needed:
+    updates [max_retries_seen] and the retry histogram. *)
+
 val add_into : dst:t -> t -> unit
-(** Accumulate a thread's counters into an aggregate. *)
+(** Accumulate a thread's counters into an aggregate ([max_retries_seen]
+    merges with [max], everything else sums). *)
 
 val copy : t -> t
 

@@ -161,6 +161,61 @@ let test_stress_jobs_invariant () =
   check_int "all runs counted" (Array.length specs) sa.St.runs
 
 (* ------------------------------------------------------------------ *)
+(* Pinned golden digests: the default contention manager is invisible  *)
+(* ------------------------------------------------------------------ *)
+
+(* Digests of the quick-profile figure CSVs, the ablation table and the
+   tuner trace, captured before the contention-management layer existed.
+   The default policy (backoff) must replay the historical runs
+   byte-identically — any virtual-time or RNG-stream drift on the default
+   path moves these digests and fails here. *)
+
+module Abl = Tstm_harness.Ablation
+module Scenario = Tstm_harness.Scenario
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let test_pinned_figures_digest () =
+  let plan = Plan.figures F.quick golden_figs in
+  let res = Plan.execute ~jobs:1 plan in
+  check_bool "all cells ok" true (Plan.ok res);
+  Alcotest.(check string)
+    "figures 7+10 digest pinned" "c4830843617461c335712e43584d56e4"
+    (digest (render_figures F.quick golden_figs res))
+
+let test_pinned_ablation_digest () =
+  (* The Cost points perturb the simulator's cost model; the remaining
+     points all run the production model and are what the default CM must
+     not disturb. *)
+  let pts =
+    List.filter (function Abl.Cost _ -> false | _ -> true) Abl.default_points
+  in
+  let rows = List.map Abl.run_point pts in
+  Alcotest.(check string)
+    "ablation digest pinned" "a6ac5ff6370f6731a778e802e1dbe76f"
+    (digest (String.concat "\n" (List.map Abl.render rows)))
+
+let test_pinned_tune_digest () =
+  let spec =
+    W.make ~structure:W.List ~initial_size:128 ~update_pct:20.0 ~nthreads:4
+      ~duration:1.0 ~seed:42 ()
+  in
+  let tr = Scenario.run_intset_autotuned ~period:0.002 ~n_steps:5 spec in
+  let rendered =
+    String.concat ""
+      (List.map
+         (fun (st : Tstm_tuning.Tuner.step) ->
+           Printf.sprintf "%s %.3f %s\n"
+             (Tinystm.Config.to_string st.Tstm_tuning.Tuner.config)
+             st.Tstm_tuning.Tuner.throughput
+             (Tstm_tuning.Tuner.move_label st.Tstm_tuning.Tuner.move))
+         tr.Scenario.steps)
+  in
+  Alcotest.(check string)
+    "tuner-trace digest pinned" "1281dbff72cfffefd31e4a3de57546d6"
+    (digest rendered)
+
+(* ------------------------------------------------------------------ *)
 (* Crash recovery: a SIGKILLed worker is requeued, output unchanged    *)
 (* ------------------------------------------------------------------ *)
 
@@ -208,5 +263,11 @@ let () =
             test_stress_jobs_invariant;
           Alcotest.test_case "killed worker retried, output unchanged" `Quick
             test_killed_worker_retried;
+          Alcotest.test_case "pinned digest: figures" `Quick
+            test_pinned_figures_digest;
+          Alcotest.test_case "pinned digest: ablation" `Quick
+            test_pinned_ablation_digest;
+          Alcotest.test_case "pinned digest: tuner trace" `Quick
+            test_pinned_tune_digest;
         ] );
     ]

@@ -367,6 +367,347 @@ let test_overwrite_preserves_contents () =
   check_int "overwrites do not change membership" before
     (Ts.atomically t (fun tx -> ops.D.op_size tx))
 
+(* ------------------------------------------------------------------ *)
+(* Contention managers: registry and decision tables                   *)
+(* ------------------------------------------------------------------ *)
+
+module Cm = Tstm_cm.Cm
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_cm_registry () =
+  check_bool "backoff default" true (Cm.default = Cm.Backoff);
+  (* Canonical names roundtrip through of_string/to_string. *)
+  List.iter
+    (fun p ->
+      match Cm.of_string (Cm.to_string p) with
+      | Ok p' -> check_bool (Cm.to_string p ^ " roundtrips") true (p = p')
+      | Error m -> Alcotest.fail m)
+    [ Cm.Suicide; Cm.Backoff; Cm.Karma; Cm.Greedy; Cm.Serialize 3 ];
+  check_bool "timid alias" true (Cm.of_string "timid" = Ok Cm.Backoff);
+  check_bool "serialize default arg" true
+    (Cm.of_string "serialize" = Ok (Cm.Serialize 8));
+  check_bool "serialize:N parses" true
+    (Cm.of_string "serialize:4" = Ok (Cm.Serialize 4));
+  check_bool "serialize:0 rejected" true
+    (match Cm.of_string "serialize:0" with Error _ -> true | Ok _ -> false);
+  (match Cm.of_string "nope" with
+  | Error msg ->
+      check_bool "unknown error lists names" true
+        (List.for_all (fun n -> contains ~sub:n msg) (Cm.names ()))
+  | Ok _ -> Alcotest.fail "unknown name accepted");
+  check_bool "mem" true (Cm.mem "karma" && not (Cm.mem "nope"));
+  List.iter
+    (fun n -> check_bool (n ^ " described") true (Cm.describe n <> ""))
+    (Cm.names ())
+
+let decide p ~sp ~ep ~st ~et =
+  Cm.on_enemy p ~self_prio:sp ~enemy_prio:ep ~self_tid:st ~enemy_tid:et
+
+let test_cm_decision_tables () =
+  (* Suicide always aborts self; backoff/serialize always wait-then-abort —
+     whatever the priorities say. *)
+  List.iter
+    (fun (sp, ep, st, et) ->
+      check_bool "suicide aborts" true
+        (decide Cm.Suicide ~sp ~ep ~st ~et = Cm.Abort_now);
+      check_bool "backoff waits" true
+        (decide Cm.Backoff ~sp ~ep ~st ~et = Cm.Wait_retry);
+      check_bool "serialize waits" true
+        (decide (Cm.Serialize 4) ~sp ~ep ~st ~et = Cm.Wait_retry))
+    [ (0, 0, 1, 2); (5, 1, 2, 1); (1, 5, 1, 2) ];
+  (* Karma: richer kills poorer; ties break toward the lower tid. *)
+  check_bool "karma richer kills" true
+    (decide Cm.Karma ~sp:10 ~ep:3 ~st:2 ~et:1 = Cm.Kill_enemy);
+  check_bool "karma poorer waits" true
+    (decide Cm.Karma ~sp:3 ~ep:10 ~st:1 ~et:2 = Cm.Wait_retry);
+  check_bool "karma tie, lower tid kills" true
+    (decide Cm.Karma ~sp:5 ~ep:5 ~st:1 ~et:2 = Cm.Kill_enemy);
+  check_bool "karma tie, higher tid waits" true
+    (decide Cm.Karma ~sp:5 ~ep:5 ~st:2 ~et:1 = Cm.Wait_retry);
+  (* Greedy: smaller ticket = older = winner; an unpublished enemy ticket
+     (0) means the enemy is completing — wait for its lock to go. *)
+  check_bool "greedy older kills" true
+    (decide Cm.Greedy ~sp:3 ~ep:9 ~st:2 ~et:1 = Cm.Kill_enemy);
+  check_bool "greedy younger waits" true
+    (decide Cm.Greedy ~sp:9 ~ep:3 ~st:1 ~et:2 = Cm.Wait_retry);
+  check_bool "greedy zero enemy ticket waits" true
+    (decide Cm.Greedy ~sp:9 ~ep:0 ~st:1 ~et:2 = Cm.Wait_retry);
+  check_bool "greedy tie, lower tid kills" true
+    (decide Cm.Greedy ~sp:4 ~ep:4 ~st:1 ~et:2 = Cm.Kill_enemy)
+
+(* The conservation property that makes priority policies livelock-free:
+   for any symmetric conflict (both sides see the other as enemy), exactly
+   one side decides Kill_enemy — never both (mutual kills = livelock),
+   never neither (mutual waits = both spin out and abort, re-entering the
+   same state).  Holds for karma always, and for greedy whenever both
+   tickets are published. *)
+let cm_kill_total_order =
+  QCheck.Test.make ~count:500 ~name:"karma/greedy kill is a total order"
+    QCheck.(quad (int_bound 1000) (int_bound 1000) (int_bound 126) (int_bound 126))
+    (fun (pa, pb, ta, tb) ->
+      QCheck.assume (ta <> tb);
+      let kills p ~sp ~ep ~st ~et =
+        decide p ~sp ~ep ~st ~et = Cm.Kill_enemy
+      in
+      let one_of p spa spb =
+        let a = kills p ~sp:spa ~ep:spb ~st:ta ~et:tb in
+        let b = kills p ~sp:spb ~ep:spa ~st:tb ~et:ta in
+        (a || b) && not (a && b)
+      in
+      one_of Cm.Karma pa pb && one_of Cm.Greedy (pa + 1) (pb + 1))
+
+let test_effective_max_retries () =
+  check_int "serialize with no budget" 4
+    (Cm.effective_max_retries (Cm.Serialize 4) 0);
+  check_int "serialize tightens budget" 4
+    (Cm.effective_max_retries (Cm.Serialize 4) 9);
+  check_int "budget tightens serialize" 2
+    (Cm.effective_max_retries (Cm.Serialize 4) 2);
+  check_int "backoff passes through" 7 (Cm.effective_max_retries Cm.Backoff 7);
+  check_int "suicide passes 0 through" 0
+    (Cm.effective_max_retries Cm.Suicide 0)
+
+(* ------------------------------------------------------------------ *)
+(* Backoff determinism and shift-overflow regression                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_bounded_at_any_attempts () =
+  (* Regression: [16 lsl attempts] overflows the OCaml int at attempts >=
+     59, which would make the "wait" negative.  The capped formula must
+     stay within [base/2, cap] for any attempt count. *)
+  let rng = Tstm_util.Xrand.create 7 in
+  List.iter
+    (fun attempts ->
+      let base = min Cm.backoff_cap (16 lsl min attempts 16) in
+      for _ = 1 to 50 do
+        let c = Cm.backoff_cycles ~rng ~attempts in
+        check_bool
+          (Printf.sprintf "attempts=%d cycles=%d in range" attempts c)
+          true
+          (c >= base / 2 && c <= Cm.backoff_cap && c <= base)
+      done)
+    [ 0; 1; 4; 8; 15; 16; 17; 58; 59; 60; 62; 1000; max_int ]
+
+let test_backoff_replay_stable () =
+  (* Same seed, same attempt sequence => byte-identical delays: the jitter
+     must come only from the given rng. *)
+  let sample seed =
+    let rng = Tstm_util.Xrand.create seed in
+    List.init 64 (fun i -> Cm.backoff_cycles ~rng ~attempts:(i mod 20))
+  in
+  check_bool "same seed, same sequence" true (sample 42 = sample 42);
+  check_bool "different seed, different sequence" true
+    (sample 42 <> sample 43)
+
+(* ------------------------------------------------------------------ *)
+(* Fairness counters (Tm_stats)                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Stats = Tstm_tm.Tm_stats
+
+let test_fairness_counters () =
+  let s = Stats.create () in
+  Stats.record_retries s 0;
+  Stats.record_retries s 3;
+  Stats.record_retries s 70;
+  check_int "max retries tracked" 70 s.Stats.max_retries_seen;
+  check_int "0 retries -> bucket 0" 1 s.Stats.retry_hist.(0);
+  check_int "3 retries -> bucket 2" 1 s.Stats.retry_hist.(2);
+  check_int "70 retries -> bucket 7" 1 s.Stats.retry_hist.(7);
+  let s2 = Stats.create () in
+  Stats.record_retries s2 1_000_000;
+  check_bool "huge retries land in the last bucket" true
+    (s2.Stats.retry_hist.(Stats.retry_hist_buckets - 1) = 1);
+  Stats.add_into ~dst:s2 s;
+  check_int "merge keeps max, not sum" 1_000_000 s2.Stats.max_retries_seen;
+  check_int "merge sums buckets" 1 s2.Stats.retry_hist.(2);
+  s.Stats.cm_switches <- 5;
+  Stats.record_abort s Stats.Killed;
+  check_int "killed aborts counted" 1 s.Stats.aborts_killed;
+  check_int "killed aborts in the total" 1 (Stats.aborts s);
+  let rendered = Format.asprintf "%a" Stats.pp s in
+  List.iter
+    (fun sub ->
+      check_bool (sub ^ " surfaced in pp") true (contains ~sub rendered))
+    [ "max-retries=70"; "cm-switches=5"; "kill=1"; "retry-hist=" ]
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog state machine                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Wd = Tstm_runtime.Watchdog
+
+let test_watchdog_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "window < 1" true (bad (fun () -> Wd.create ~window:0 ()));
+  check_bool "negative starve_retries" true
+    (bad (fun () -> Wd.create ~starve_retries:(-1) ()));
+  check_bool "recover_windows < 1" true
+    (bad (fun () -> Wd.create ~recover_windows:0 ()))
+
+let test_watchdog_livelock_ladder () =
+  let w = Wd.create ~window:100 ~starve_retries:0 ~recover_windows:2 () in
+  check_bool "starts normal" true (Wd.level w = Wd.Normal);
+  check_bool "quiet inside the window" true
+    (Wd.note_abort w ~now:50 ~tid:1 ~retries:3 = []);
+  (* First zero-commit window: Normal -> Boosted. *)
+  (match Wd.note_abort w ~now:150 ~tid:1 ~retries:4 with
+  | [ Wd.Livelock { window = 100 }; Wd.Switch { level = Wd.Boosted } ] -> ()
+  | _ -> Alcotest.fail "expected livelock + boost");
+  (* Second: Boosted -> Serialized; the ladder then saturates. *)
+  (match Wd.note_abort w ~now:300 ~tid:1 ~retries:5 with
+  | [ Wd.Livelock _; Wd.Switch { level = Wd.Serialized } ] -> ()
+  | _ -> Alcotest.fail "expected livelock + serialize");
+  (match Wd.note_abort w ~now:450 ~tid:1 ~retries:6 with
+  | [ Wd.Livelock _ ] -> ()
+  | _ -> Alcotest.fail "saturated ladder must not switch");
+  check_int "livelocks counted" 3 (Wd.livelocks w);
+  (* Recovery: two consecutive commit-bearing windows per step back down. *)
+  check_bool "commit lands quietly" true (Wd.note_commit w ~now:460 ~tid:2 = []);
+  check_bool "first calm window" true (Wd.note_commit w ~now:580 ~tid:2 = []);
+  (match Wd.note_commit w ~now:700 ~tid:2 with
+  | [ Wd.Switch { level = Wd.Boosted } ] -> ()
+  | _ -> Alcotest.fail "expected de-escalation to boosted");
+  check_int "heartbeat tracks last commit" 700 (Wd.last_commit w ~tid:2);
+  check_int "other cpu untouched" (-1) (Wd.last_commit w ~tid:3);
+  check_bool "switch count" true (Wd.switches w = 3)
+
+let test_watchdog_starvation_once () =
+  let w = Wd.create ~window:1_000_000 ~starve_retries:8 () in
+  (* Fires exactly at the ceiling, not before, not again after. *)
+  check_bool "below ceiling quiet" true
+    (Wd.note_abort w ~now:10 ~tid:3 ~retries:7 = []);
+  (match Wd.note_abort w ~now:20 ~tid:3 ~retries:8 with
+  | [ Wd.Starved { tid = 3; retries = 8 }; Wd.Switch { level = Wd.Boosted } ]
+    -> ()
+  | _ -> Alcotest.fail "expected starvation + boost");
+  check_bool "past ceiling quiet" true
+    (Wd.note_abort w ~now:30 ~tid:3 ~retries:9 = []);
+  check_int "one starvation" 1 (Wd.starvations w)
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial workload patterns                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_pattern_names () =
+  List.iter
+    (fun p ->
+      match W.pattern_of_string (W.pattern_to_string p) with
+      | Ok p' ->
+          check_bool (W.pattern_to_string p ^ " roundtrips") true (p = p')
+      | Error m -> Alcotest.fail m)
+    [ W.Uniform; W.Zipf 1.2; W.Hotspot 4; W.Bimodal 8; W.Asym 2.0 ];
+  check_bool "unknown rejected" true
+    (match W.pattern_of_string "nope" with Error _ -> true | Ok _ -> false);
+  check_bool "bad zipf rejected" true
+    (match W.pattern_of_string "zipf:0" with Error _ -> true | Ok _ -> false)
+
+let test_uniform_stream_identity () =
+  (* The Uniform sampler must consume exactly the historical RNG stream:
+     one [Xrand.int] per key. *)
+  let g1 = Tstm_util.Xrand.create 7 and g2 = Tstm_util.Xrand.create 7 in
+  let draw = W.key_gen W.Uniform ~key_range:512 in
+  for _ = 1 to 1000 do
+    check_int "same stream" (1 + Tstm_util.Xrand.int g2 512) (draw g1)
+  done
+
+let test_skewed_patterns_concentrate () =
+  let count_hot pattern ~hot =
+    let g = Tstm_util.Xrand.create 11 in
+    let draw = W.key_gen pattern ~key_range:1024 in
+    let n = 10_000 in
+    let c = ref 0 in
+    for _ = 1 to n do
+      let k = draw g in
+      check_bool "key in range" true (k >= 1 && k <= 1024);
+      if k <= hot then incr c
+    done;
+    float_of_int !c /. float_of_int n
+  in
+  let uni = count_hot W.Uniform ~hot:8 in
+  let zipf = count_hot (W.Zipf 1.2) ~hot:8 in
+  let hots = count_hot (W.Hotspot 8) ~hot:8 in
+  check_bool
+    (Printf.sprintf "zipf concentrates (%.3f vs uniform %.3f)" zipf uni)
+    true
+    (zipf > 20.0 *. uni);
+  check_bool (Printf.sprintf "hotspot sends ~90%% to the hot set (%.3f)" hots)
+    true
+    (hots > 0.85 && hots < 0.95)
+
+let test_pattern_roles () =
+  check_int "bimodal even tid scans" 16 (W.reader_span (W.Bimodal 16) ~tid:2);
+  check_int "bimodal odd tid normal" 0 (W.reader_span (W.Bimodal 16) ~tid:3);
+  check_int "asym odd tid idles" 500 (W.idle_cycles (W.Asym 2.0) ~tid:1);
+  check_int "asym even tid full speed" 0 (W.idle_cycles (W.Asym 2.0) ~tid:2);
+  check_int "uniform no roles" 0
+    (W.reader_span W.Uniform ~tid:0 + W.idle_cycles W.Uniform ~tid:1)
+
+(* ------------------------------------------------------------------ *)
+(* Progress guarantees on the storm workload                           *)
+(* ------------------------------------------------------------------ *)
+
+module Storm = Tstm_harness.Storm
+
+let storm stm cm ~watchdog = Storm.run_one { Storm.default with stm; cm; watchdog }
+
+let all_stms = [ "tinystm-wb"; "tinystm-wt"; "tl2" ]
+
+let test_suicide_livelocks () =
+  (* Unmanaged symmetric conflicts: the pairs shadow-box until the deadline
+     and nobody reaches the quota, on every STM variant. *)
+  List.iter
+    (fun stm ->
+      let r = storm stm "suicide" ~watchdog:false in
+      check_bool (stm ^ " livelocked") true (not r.Storm.completed);
+      check_int (stm ^ " zero commits") 0
+        (Array.fold_left ( + ) 0 r.Storm.commits))
+    all_stms
+
+let test_watchdog_rescues_suicide () =
+  List.iter
+    (fun stm ->
+      let r = storm stm "suicide" ~watchdog:true in
+      check_bool (stm ^ " completed under watchdog") true r.Storm.completed;
+      check_bool (stm ^ " livelock detected") true (r.Storm.livelocks >= 1);
+      check_bool (stm ^ " degradation engaged") true (r.Storm.switches >= 1);
+      check_bool (stm ^ " escalations commit the storm") true
+        (r.Storm.escalations >= 1))
+    all_stms
+
+let test_priority_cms_commit_everything () =
+  List.iter
+    (fun stm ->
+      List.iter
+        (fun cm ->
+          let r = storm stm cm ~watchdog:false in
+          check_bool
+            (Printf.sprintf "%s under %s completed" stm cm)
+            true r.Storm.completed;
+          Array.iteri
+            (fun tid c ->
+              check_int
+                (Printf.sprintf "%s/%s thread %d met quota" stm cm tid)
+                Storm.default.Storm.quota c)
+            r.Storm.commits;
+          check_int
+            (Printf.sprintf "%s/%s no serial escalations needed" stm cm)
+            0 r.Storm.escalations)
+        [ "karma"; "greedy" ])
+    all_stms
+
+let test_serialize_commits_via_escalation () =
+  List.iter
+    (fun stm ->
+      let r = storm stm "serialize:4" ~watchdog:false in
+      check_bool (stm ^ " serialize completed") true r.Storm.completed;
+      check_bool (stm ^ " serialize escalated") true (r.Storm.escalations >= 1))
+    all_stms
+
 let () =
   Alcotest.run "robustness"
     [
@@ -408,5 +749,49 @@ let () =
             test_overwrite_workload_writes_heavily;
           Alcotest.test_case "membership preserved" `Quick
             test_overwrite_preserves_contents;
+        ] );
+      ( "contention managers",
+        [
+          Alcotest.test_case "registry" `Quick test_cm_registry;
+          Alcotest.test_case "decision tables" `Quick test_cm_decision_tables;
+          QCheck_alcotest.to_alcotest cm_kill_total_order;
+          Alcotest.test_case "effective max retries" `Quick
+            test_effective_max_retries;
+        ] );
+      ( "backoff determinism",
+        [
+          Alcotest.test_case "bounded at any attempts" `Quick
+            test_backoff_bounded_at_any_attempts;
+          Alcotest.test_case "replay stable" `Quick test_backoff_replay_stable;
+        ] );
+      ( "fairness counters",
+        [ Alcotest.test_case "record/merge/pp" `Quick test_fairness_counters ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "create validation" `Quick
+            test_watchdog_validation;
+          Alcotest.test_case "livelock ladder + recovery" `Quick
+            test_watchdog_livelock_ladder;
+          Alcotest.test_case "starvation fires once" `Quick
+            test_watchdog_starvation_once;
+        ] );
+      ( "workload patterns",
+        [
+          Alcotest.test_case "names" `Quick test_pattern_names;
+          Alcotest.test_case "uniform stream identity" `Quick
+            test_uniform_stream_identity;
+          Alcotest.test_case "skew concentrates" `Quick
+            test_skewed_patterns_concentrate;
+          Alcotest.test_case "bimodal/asym roles" `Quick test_pattern_roles;
+        ] );
+      ( "progress guarantees",
+        [
+          Alcotest.test_case "suicide livelocks" `Quick test_suicide_livelocks;
+          Alcotest.test_case "watchdog rescues suicide" `Quick
+            test_watchdog_rescues_suicide;
+          Alcotest.test_case "karma/greedy commit everything" `Quick
+            test_priority_cms_commit_everything;
+          Alcotest.test_case "serialize commits via escalation" `Quick
+            test_serialize_commits_via_escalation;
         ] );
     ]
