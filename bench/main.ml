@@ -11,6 +11,14 @@
                                   --top-contended 10
                                               observed flagship run
                                               (list 256, 20%, 8 threads)
+     dune exec bench/main.exe -- real --stm tl2 --structure rbtree \
+                                  --domains 1,2 --duration 0.2 --reps 3 \
+                                  --out BENCH_x.json
+                                              wall-clock bench on real
+                                              domains, snapshot JSON
+     dune exec bench/main.exe -- compare OLD.json NEW.json
+                                              noise-aware regression check
+                                              between two snapshots
 
    The figure drivers regenerate every figure of the paper's evaluation
    (Figs. 2-12) on the simulated 8-core runtime; the microbenchmarks time
@@ -228,13 +236,66 @@ let main profile full jobs fig micro ablation trace metrics_csv top_contended =
   in
   if ok then 0 else 1
 
+(* ------------------------------------------------------------------ *)
+(* Wall-clock subcommands (real domains)                               *)
+(* ------------------------------------------------------------------ *)
+
+let real_cmd =
+  let run stm structure domains size updates seed pattern duration warmup reps
+      observe out =
+    if
+      Cli.run_bench_real ?out ~stm ~structure ~domains ~pattern ~size
+        ~update_pct:updates ~seed ~duration ~warmup ~reps ~observe ()
+    then 0
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "real"
+       ~doc:
+         "Wall-clock benchmark on real domains: Synchrobench-style timed \
+          repetitions per (STM, structure, domain-count) cell, human table \
+          on stdout and a machine-readable BENCH_*.json snapshot with \
+          --out.")
+    Term.(
+      const run $ Cli.real_stm_arg $ Cli.real_structure_arg $ Cli.domains_arg
+      $ Cli.size_arg $ Cli.updates_arg $ Cli.seed_arg $ Cli.workload_arg
+      $ Cli.real_duration_arg $ Cli.warmup_arg $ Cli.reps_arg
+      $ Cli.observe_flag $ Cli.out_arg)
+
+let compare_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD.json" ~doc:"Baseline snapshot.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW.json" ~doc:"Candidate snapshot.")
+  in
+  let run threshold report_only old_path new_path =
+    if Cli.run_bench_compare ~threshold ~report_only ~old_path ~new_path ()
+    then 0
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Compare two BENCH_*.json snapshots cell by cell and exit non-zero \
+          on a regression beyond noise (see --threshold; --report-only \
+          always exits 0).")
+    Term.(
+      const run $ Cli.threshold_arg $ Cli.report_only_flag $ old_arg $ new_arg)
+
 let () =
   let doc = "TinySTM (PPoPP'08) reproduction: microbenchmarks and figures" in
   let info = Cmd.info "main" ~doc in
-  let term =
+  let default =
     Term.(
       const main $ Cli.profile_arg $ Cli.full_flag $ Cli.jobs_arg $ fig_arg
       $ micro_flag $ ablation_flag $ Cli.trace_arg $ Cli.metrics_csv_arg
       $ Cli.top_contended_arg)
   in
-  exit (Cmd.eval' (Cmd.v info term))
+  exit (Cmd.eval' (Cmd.group ~default info [ real_cmd; compare_cmd ]))

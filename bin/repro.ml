@@ -53,9 +53,19 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
+  let stats_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the run's aggregated transaction statistics \
+             (Tm_stats) as JSON to $(docv) — the same counter export the \
+             BENCH_*.json snapshots embed.")
+  in
   let run structure stm size updates overwrites threads duration locks_exp
       shifts hierarchy seed cm pattern trace metrics_csv top_contended periods
-      san jobs =
+      san stats_json jobs =
     let spec =
       W.make ~structure ~initial_size:size ~update_pct:updates
         ~overwrite_pct:overwrites ~nthreads:threads ~duration ~seed ~pattern ()
@@ -102,6 +112,15 @@ let run_cmd =
           (W.structure_to_string structure)
           size updates threads W.pp_result o.Job.result;
         Format.printf "  stats: %a@." Tstm_tm.Tm_stats.pp o.Job.result.W.stats;
+        (match stats_json with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc
+              (Tstm_obs.Json.to_string
+                 (Tstm_tm.Tm_stats.to_json o.Job.result.W.stats));
+            close_out oc;
+            Printf.printf "(stats JSON written to %s)\n" path
+        | None -> ());
         if san then begin
           Printf.printf "  san: %s\n" o.Job.san_summary;
           if o.Job.san_findings <> [] then begin
@@ -117,7 +136,7 @@ let run_cmd =
       $ Cli.duration_arg $ Cli.locks_exp_arg $ Cli.shifts_arg
       $ Cli.hierarchy_arg $ Cli.seed_arg $ Cli.cm_arg $ Cli.workload_arg
       $ Cli.trace_arg $ Cli.metrics_csv_arg $ Cli.top_contended_arg
-      $ Cli.periods_arg $ Cli.san_arg $ Cli.jobs_arg)
+      $ Cli.periods_arg $ Cli.san_arg $ stats_json_arg $ Cli.jobs_arg)
 
 let sweep_cmd =
   let axis_conv =

@@ -354,6 +354,173 @@ let eval_point ?(jobs = 1) p =
       | (_, f) :: _ -> Error f.Pool.reason
       | [] -> Error "job produced no outcome")
 
+(* ------------------------------------------------------------------ *)
+(* Wall-clock bench (real runtime)                                     *)
+(* ------------------------------------------------------------------ *)
+
+module BR = Tstm_harness.Bench_real
+module Bench = Tstm_obs.Bench
+
+let real_stm_arg =
+  Arg.(
+    value
+    & opt string "tinystm-wb"
+    & info [ "stm" ] ~docv:"STM"
+        ~doc:"STM implementation: tinystm-wb (wb), tinystm-wt (wt) or tl2.")
+
+let real_structure_arg =
+  Arg.(
+    value
+    & opt string "rbtree"
+    & info [ "s"; "structure" ] ~docv:"STRUCT"
+        ~doc:
+          "Benchmark target: list, rbtree, skiplist, hashset or vacation \
+           (the STAMP-style travel-reservation workload).")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 4 ]
+    & info [ "domains" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated domain counts to bench, one snapshot cell each \
+           (e.g. 1,2,4).")
+
+let reps_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "reps" ] ~docv:"N"
+        ~doc:
+          "Timed repetitions per cell; the snapshot records every sample \
+           and the mean with a 95% confidence interval.")
+
+let warmup_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "warmup" ] ~docv:"SECONDS"
+        ~doc:"Untimed warmup before the repetitions (0 = none).")
+
+let real_duration_arg =
+  Arg.(
+    value & opt float 0.2
+    & info [ "d"; "duration" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock length of each timed repetition.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Write the machine-readable snapshot (BENCH_*.json) to $(docv).")
+
+let observe_flag =
+  Arg.(
+    value & flag
+    & info [ "observe" ]
+        ~doc:
+          "Record wall-clock commit/abort latency histograms during the \
+           timed phases through a per-domain sharded sink (adds the \
+           instrumented-path overhead to what is measured).")
+
+let threshold_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "threshold" ] ~docv:"PCT"
+        ~doc:
+          "Regression threshold: flag a cell only when its mean throughput \
+           drops by more than $(docv) percent beyond the combined 95% \
+           confidence intervals.")
+
+let report_only_flag =
+  Arg.(
+    value & flag
+    & info [ "report-only" ]
+        ~doc:"Print the comparison but exit 0 even on regressions.")
+
+let git_rev () =
+  match
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, Some l when l <> "" -> Some l
+      | _ -> None
+    with _ -> None
+  with
+  | Some rev -> rev
+  | None -> "unknown"
+
+let run_bench_real ?out ~stm ~structure ~domains ~pattern ~size ~update_pct
+    ~seed ~duration ~warmup ~reps ~observe () =
+  let protocol =
+    { BR.duration_s = duration; warmup_s = warmup; reps; observe }
+  in
+  let ok = ref true in
+  let t0 = Unix.gettimeofday () in
+  let cells =
+    List.filter_map
+      (fun d ->
+        prerr_string
+          (Printf.sprintf "bench real: %s %s domains=%d (%d x %.3fs)...\n" stm
+             structure d reps duration);
+        flush stderr;
+        let req =
+          { BR.stm; structure; domains = d; pattern; size; update_pct; seed }
+        in
+        match BR.run_cell req protocol with
+        | Error e ->
+            prerr_string (Printf.sprintf "bench real: %s\n" e);
+            flush stderr;
+            ok := false;
+            None
+        | Ok (cell, integ) ->
+            List.iter
+              (fun v ->
+                prerr_string
+                  (Printf.sprintf
+                     "bench real: INVARIANT VIOLATED (%s/%s d=%d): %s\n" stm
+                     structure d v);
+                flush stderr;
+                ok := false)
+              integ.BR.violations;
+            Some cell)
+      domains
+  in
+  if cells = [] then false
+  else begin
+    let snap =
+      BR.snapshot ~rev:(git_rev ()) ~created_unix:(Unix.time ()) protocol
+        cells
+    in
+    print_string (Bench.render snap);
+    flush stdout;
+    (match out with
+    | Some path ->
+        Bench.write ~path snap;
+        prerr_string (Printf.sprintf "(snapshot written to %s)\n" path)
+    | None -> ());
+    prerr_string
+      (Printf.sprintf "bench real: %d cell%s in %.1fs\n" (List.length cells)
+         (if List.length cells = 1 then "" else "s")
+         (Unix.gettimeofday () -. t0));
+    flush stderr;
+    !ok
+  end
+
+let run_bench_compare ~threshold ~report_only ~old_path ~new_path () =
+  match (Bench.read ~path:old_path, Bench.read ~path:new_path) with
+  | Error e, _ ->
+      prerr_string (Printf.sprintf "bench compare: %s: %s\n" old_path e);
+      false
+  | _, Error e ->
+      prerr_string (Printf.sprintf "bench compare: %s: %s\n" new_path e);
+      false
+  | Ok old_snap, Ok new_snap ->
+      let v = Bench.compare ~threshold_pct:threshold ~old_snap ~new_snap () in
+      print_string (Bench.render_verdict v);
+      flush stdout;
+      report_only || v.Bench.regressions = 0
+
 let eval_points ?(jobs = 1) points =
   let plan = Array.of_list (List.map (fun p -> Job.Point p) points) in
   let res = execute ~jobs plan in

@@ -95,3 +95,65 @@ val eval_point :
 val eval_points : ?jobs:int -> Job.point list -> Job.point_outcome option array
 (** Evaluate a list of points (the `repro sweep` shape), outcomes in plan
     order; [None] where a point failed permanently. *)
+
+(** {1 Wall-clock bench (real runtime)}
+
+    Flag terms and drivers for [bench real] and [bench compare]: the
+    real-hardware benchmark path producing machine-readable
+    [BENCH_*.json] snapshots ({!Tstm_obs.Bench}) and the noise-aware
+    regression comparator. *)
+
+val real_stm_arg : string Cmdliner.Term.t
+(** [--stm STM] (validated by {!Tstm_harness.Bench_real.run_cell}). *)
+
+val real_structure_arg : string Cmdliner.Term.t
+(** [--structure STRUCT]: a structure name or ["vacation"]. *)
+
+val domains_arg : int list Cmdliner.Term.t
+(** [--domains 1,2,4]: one snapshot cell per domain count. *)
+
+val reps_arg : int Cmdliner.Term.t
+val warmup_arg : float Cmdliner.Term.t
+
+val real_duration_arg : float Cmdliner.Term.t
+(** [--duration SECONDS]: wall-clock repetition length (default 0.2). *)
+
+val out_arg : string option Cmdliner.Term.t
+val observe_flag : bool Cmdliner.Term.t
+val threshold_arg : float Cmdliner.Term.t
+val report_only_flag : bool Cmdliner.Term.t
+
+val git_rev : unit -> string
+(** Short git revision of the working tree, or ["unknown"] outside a
+    checkout. *)
+
+val run_bench_real :
+  ?out:string ->
+  stm:string ->
+  structure:string ->
+  domains:int list ->
+  pattern:Tstm_harness.Workload.pattern ->
+  size:int ->
+  update_pct:float ->
+  seed:int ->
+  duration:float ->
+  warmup:float ->
+  reps:int ->
+  observe:bool ->
+  unit ->
+  bool
+(** Run one cell per domain count, print the human table on stdout and
+    (with [out]) write the snapshot JSON.  Progress and integrity
+    violations go to stderr.  Returns [false] when any cell failed or
+    violated an invariant. *)
+
+val run_bench_compare :
+  threshold:float ->
+  report_only:bool ->
+  old_path:string ->
+  new_path:string ->
+  unit ->
+  bool
+(** Compare two snapshots ({!Tstm_obs.Bench.compare}) and print the
+    verdict on stdout.  Returns [false] when a regression was flagged and
+    [report_only] is unset, or when either file fails to load. *)

@@ -25,6 +25,33 @@ module Make
   val populate : T.t -> ops -> Workload.spec -> unit
   (** Deterministically fill the structure to [spec.initial_size]. *)
 
+  type thread_ctx
+  (** Per-thread workload-pattern context: the key sampler plus this
+      thread's role (long-reader span, think-time) under the pattern. *)
+
+  val thread_ctx : Workload.spec -> int -> thread_ctx
+  (** [thread_ctx spec tid] builds thread [tid]'s context for the spec's
+      pattern. *)
+
+  val thread_seed : Workload.spec -> int -> int
+  (** The deterministic per-thread RNG seed the driver's own loops use. *)
+
+  val step :
+    T.t ->
+    ops ->
+    Workload.spec ->
+    thread_ctx ->
+    Tstm_util.Xrand.t ->
+    int option ref ->
+    unit
+  (** Execute exactly {e one} benchmark transaction of the paper mix
+      (lookup / insert-remove pair / overwrite, or the pattern's scan
+      role).  The [int option ref] threads the pending-removal key between
+      consecutive update transactions; start each thread with [ref None].
+      Exposed so external harnesses (the wall-clock bench) can drive the
+      same mix under their own timing loop while counting operations:
+      one call = one [atomically] = one commit. *)
+
   val run_recorded :
     ?pattern:Workload.pattern ->
     T.t ->

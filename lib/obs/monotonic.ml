@@ -1,0 +1,22 @@
+(* CLOCK_MONOTONIC via the bechamel stub (the only C binding the toolchain
+   ships); origin-shifted so timestamps stay well inside OCaml's int range
+   and are meaningful as "nanoseconds since process start". *)
+
+let raw_ns () = Int64.to_int (Monotonic_clock.now ())
+let origin = raw_ns ()
+let now_ns () = raw_ns () - origin
+let now_s () = float_of_int (now_ns ()) /. 1e9
+let elapsed_ns ~since = now_ns () - since
+let elapsed_s ~since = float_of_int (elapsed_ns ~since) /. 1e9
+
+let resolution_ns () =
+  (* Smallest observed positive delta over a few spins: a cheap sanity
+     probe for tests and snapshot host metadata, not a hard guarantee. *)
+  let best = ref max_int in
+  for _ = 1 to 1000 do
+    let a = now_ns () in
+    let b = now_ns () in
+    let d = b - a in
+    if d > 0 && d < !best then best := d
+  done;
+  if !best = max_int then 1 else !best

@@ -1,0 +1,26 @@
+(** Wall-clock monotonic time for the real-hardware benchmark path.
+
+    Backed by [CLOCK_MONOTONIC] (the [bechamel.monotonic_clock] stub — no
+    new dependency, bechamel is already in the toolchain), shifted so [0] is
+    process start.  Unlike [Unix.gettimeofday] it never goes backwards under
+    NTP adjustment, and unlike a float-of-seconds conversion it keeps full
+    nanosecond resolution in an [int].
+
+    This is the clock the {!Bench} protocol and {!Runtime_real} timestamps
+    use; the simulator keeps its own virtual clock and never reads this
+    one. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since process start; monotonically non-decreasing. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds. *)
+
+val elapsed_ns : since:int -> int
+(** [elapsed_ns ~since] = [now_ns () - since]. *)
+
+val elapsed_s : since:int -> float
+
+val resolution_ns : unit -> int
+(** Smallest positive clock delta observed over a brief spin — a probe of
+    effective resolution for host metadata, not a guarantee. *)

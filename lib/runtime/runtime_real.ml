@@ -13,20 +13,131 @@ let fetch_add a i d = Atomic.fetch_and_add a.(i) d
 let tid_key = Domain.DLS.new_key (fun () -> 0)
 let tid () = Domain.DLS.get tid_key
 
+(* Worker-domain pool.
+
+   Domain.spawn costs a full runtime-system handshake (~tens of
+   microseconds plus a minor-heap's worth of allocation), which the bench
+   harness would pay per repetition per thread.  Instead domains are
+   spawned once, parked on a condition variable, and handed one job per
+   [run]; the pool grows on demand and is torn down by [at_exit]. *)
+
+type worker = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable busy : bool;  (* a submitted job has not yet finished *)
+  mutable error : exn option;  (* exception the last job died with *)
+  mutable shutdown : bool;
+  mutable domain : unit Domain.t option;  (* None until spawned *)
+}
+
+let worker_loop w () =
+  let rec loop () =
+    Mutex.lock w.mutex;
+    while w.job = None && not w.shutdown do
+      Condition.wait w.cond w.mutex
+    done;
+    if w.shutdown then Mutex.unlock w.mutex
+    else begin
+      let f = match w.job with Some f -> f | None -> assert false in
+      w.job <- None;
+      Mutex.unlock w.mutex;
+      let err = (try f (); None with e -> Some e) in
+      Mutex.lock w.mutex;
+      w.error <- err;
+      w.busy <- false;
+      Condition.broadcast w.cond;
+      Mutex.unlock w.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let fresh_worker () =
+  let w =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      job = None;
+      busy = false;
+      error = None;
+      shutdown = false;
+      domain = None;
+    }
+  in
+  w.domain <- Some (Domain.spawn (worker_loop w));
+  w
+
+(* The pool itself is only ever touched by the orchestrating thread ([run]
+   is not reentrant), so a plain growable list suffices. *)
+let pool : worker list ref = ref []
+let in_run = ref false
+
+let ensure_workers n =
+  let have = List.length !pool in
+  if n > have then
+    pool := !pool @ List.init (n - have) (fun _ -> fresh_worker ());
+  (* First [n] workers, oldest first, so repeated same-width runs reuse the
+     same domains (and their warmed DLS state). *)
+  List.filteri (fun i _ -> i < n) !pool
+
+let submit w f =
+  Mutex.lock w.mutex;
+  w.job <- Some f;
+  w.busy <- true;
+  w.error <- None;
+  Condition.broadcast w.cond;
+  Mutex.unlock w.mutex
+
+let await w =
+  Mutex.lock w.mutex;
+  while w.busy do
+    Condition.wait w.cond w.mutex
+  done;
+  let err = w.error in
+  w.error <- None;
+  Mutex.unlock w.mutex;
+  err
+
+let shutdown_pool () =
+  let ws = !pool in
+  pool := [];
+  List.iter
+    (fun w ->
+      Mutex.lock w.mutex;
+      w.shutdown <- true;
+      Condition.broadcast w.cond;
+      Mutex.unlock w.mutex)
+    ws;
+  List.iter (fun w -> Option.iter Domain.join w.domain) ws
+
+let () = at_exit shutdown_pool
+
 let run ~nthreads body =
   if nthreads < 1 then invalid_arg "Runtime_real.run: nthreads < 1";
-  let worker i () =
-    Domain.DLS.set tid_key i;
-    body i
-  in
-  let domains =
-    List.init (nthreads - 1) (fun i -> Domain.spawn (worker (i + 1)))
-  in
-  worker 0 ();
-  List.iter Domain.join domains
+  if !in_run then invalid_arg "Runtime_real.run: not reentrant";
+  in_run := true;
+  Fun.protect
+    ~finally:(fun () -> in_run := false)
+    (fun () ->
+      let job i () =
+        Domain.DLS.set tid_key i;
+        body i
+      in
+      let workers = ensure_workers (nthreads - 1) in
+      List.iteri (fun i w -> submit w (job (i + 1))) workers;
+      (* Worker 0 runs on the orchestrating domain.  Whatever happens to
+         it, every submitted job must still be awaited — otherwise the
+         next [run] would race a domain still executing the previous
+         body over the same shared arrays. *)
+      let err0 = (try job 0 (); None with e -> Some e) in
+      let errs = List.map await workers in
+      match List.find_map Fun.id (err0 :: errs) with
+      | Some e -> raise e
+      | None -> ())
 
-let now () = Unix.gettimeofday ()
-let now_cycles () = int_of_float (Unix.gettimeofday () *. 1e9)
+let now () = Tstm_obs.Monotonic.now_s ()
+let now_cycles () = Tstm_obs.Monotonic.now_ns ()
 let sarray_label _ _ = ()
 let charge _ = ()
 let charge_local _ = ()

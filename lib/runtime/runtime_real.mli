@@ -1,6 +1,42 @@
 (** The real-hardware implementation of {!Runtime_intf.S}: one OCaml domain
-    per thread, [Atomic] cells for shared words, wall-clock time, and
-    zero-cost [charge].  Functionally interchangeable with {!Runtime_sim};
-    used by the examples and by tests that exercise true parallelism. *)
+    per thread, [Atomic] cells for shared words, monotonic wall-clock time,
+    and zero-cost [charge].  Functionally interchangeable with
+    {!Runtime_sim}; used by the wall-clock bench path
+    ([Tstm_harness.Bench_real]), the examples, and tests that exercise true
+    parallelism.
+
+    {2 Semantics and guarantees}
+
+    - {b Shared arrays.}  [sarray] is an [int Atomic.t array]; [get]/[set]
+      are sequentially-consistent atomic loads/stores, [cas] is
+      [Atomic.compare_and_set], and [fetch_add] is the hardware
+      [Atomic.fetch_and_add] — a single atomic read-modify-write, safe as a
+      clock-bump or counter under contention.
+    - {b Thread identity.}  [tid] reads a domain-local key.  [run]
+      assigns ids [0 .. nthreads-1]; the orchestrating domain is thread 0
+      and worker domains are handed their id with each job, so ids are
+      stable within a run and dense across it — they can index per-thread
+      descriptor arrays directly.
+    - {b Domain pool.}  Worker domains are spawned once and reused across
+      [run] calls (parked on a condition variable between jobs), so a
+      bench loop of many short timed repetitions does not pay
+      [Domain.spawn] per repetition.  The pool grows on demand to the
+      largest [nthreads - 1] seen and is joined by an [at_exit] hook.
+    - {b Error propagation.}  If any thread body raises, [run] still
+      awaits {e every} thread of the run — no domain is left executing a
+      stale body into the next run — and then re-raises the first
+      exception in thread-id order.  Pool workers survive a raising job
+      and are reused.
+    - {b Reentrancy.}  [run] is not reentrant and must be called from one
+      orchestrating thread at a time ([Invalid_argument] otherwise).  Code
+      {e inside} a run must not call [run].
+    - {b Clocks.}  [now] / [now_cycles] read the monotonic clock
+      ({!Tstm_obs.Monotonic}, [CLOCK_MONOTONIC]): seconds as [float],
+      nanoseconds as [int].  Under this runtime a "cycle" is therefore a
+      nanosecond, and STM commit/abort latencies recorded through
+      [Tstm_obs.Sink] are wall-clock nanoseconds.
+    - {b Costs.}  [charge] / [charge_local] / [sarray_label] are no-ops:
+      real hardware charges its own cycles.  [yield] is
+      [Domain.cpu_relax], suitable inside spin loops. *)
 
 include Runtime_intf.S

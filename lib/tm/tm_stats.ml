@@ -148,6 +148,93 @@ let per_commit n t =
 let reads_per_commit t = per_commit t.reads t
 let writes_per_commit t = per_commit t.writes t
 
+module Json = Tstm_obs.Json
+
+let to_json t =
+  Json.Obj
+    [
+      ("commits", Json.Int t.commits);
+      ("commits_read_only", Json.Int t.commits_read_only);
+      ("aborts_read_conflict", Json.Int t.aborts_read_conflict);
+      ("aborts_write_conflict", Json.Int t.aborts_write_conflict);
+      ("aborts_validation", Json.Int t.aborts_validation);
+      ("aborts_rollover", Json.Int t.aborts_rollover);
+      ("aborts_killed", Json.Int t.aborts_killed);
+      ("reads", Json.Int t.reads);
+      ("writes", Json.Int t.writes);
+      ("extensions", Json.Int t.extensions);
+      ("validations", Json.Int t.validations);
+      ("val_locks_processed", Json.Int t.val_locks_processed);
+      ("val_locks_skipped", Json.Int t.val_locks_skipped);
+      ("escalations", Json.Int t.escalations);
+      ("backoff_cycles", Json.Int t.backoff_cycles);
+      ("max_retries_seen", Json.Int t.max_retries_seen);
+      ("cm_switches", Json.Int t.cm_switches);
+      ( "retry_hist",
+        Json.List (Array.to_list (Array.map (fun n -> Json.Int n) t.retry_hist))
+      );
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let int k =
+    match Option.bind (Json.member k j) Json.to_int with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "Tm_stats.of_json: missing int field %S" k)
+  in
+  let* commits = int "commits" in
+  let* commits_read_only = int "commits_read_only" in
+  let* aborts_read_conflict = int "aborts_read_conflict" in
+  let* aborts_write_conflict = int "aborts_write_conflict" in
+  let* aborts_validation = int "aborts_validation" in
+  let* aborts_rollover = int "aborts_rollover" in
+  let* aborts_killed = int "aborts_killed" in
+  let* reads = int "reads" in
+  let* writes = int "writes" in
+  let* extensions = int "extensions" in
+  let* validations = int "validations" in
+  let* val_locks_processed = int "val_locks_processed" in
+  let* val_locks_skipped = int "val_locks_skipped" in
+  let* escalations = int "escalations" in
+  let* backoff_cycles = int "backoff_cycles" in
+  let* max_retries_seen = int "max_retries_seen" in
+  let* cm_switches = int "cm_switches" in
+  let* hist =
+    match Option.bind (Json.member "retry_hist" j) Json.to_list with
+    | None -> Error "Tm_stats.of_json: missing list field \"retry_hist\""
+    | Some elems ->
+        let rec ints acc = function
+          | [] -> Ok (List.rev acc)
+          | e :: rest -> (
+              match Json.to_int e with
+              | Some n -> ints (n :: acc) rest
+              | None -> Error "Tm_stats.of_json: non-int in retry_hist")
+        in
+        ints [] elems
+  in
+  let t = create () in
+  t.commits <- commits;
+  t.commits_read_only <- commits_read_only;
+  t.aborts_read_conflict <- aborts_read_conflict;
+  t.aborts_write_conflict <- aborts_write_conflict;
+  t.aborts_validation <- aborts_validation;
+  t.aborts_rollover <- aborts_rollover;
+  t.aborts_killed <- aborts_killed;
+  t.reads <- reads;
+  t.writes <- writes;
+  t.extensions <- extensions;
+  t.validations <- validations;
+  t.val_locks_processed <- val_locks_processed;
+  t.val_locks_skipped <- val_locks_skipped;
+  t.escalations <- escalations;
+  t.backoff_cycles <- backoff_cycles;
+  t.max_retries_seen <- max_retries_seen;
+  t.cm_switches <- cm_switches;
+  List.iteri
+    (fun i n -> if i < retry_hist_buckets then t.retry_hist.(i) <- n)
+    hist;
+  Ok t
+
 let pp_retry_hist ppf t =
   let last =
     let i = ref (retry_hist_buckets - 1) in

@@ -79,6 +79,17 @@ val abort_rate_pct : t -> float
 val reads_per_commit : t -> float
 val writes_per_commit : t -> float
 
+(** {1 Machine-readable export} *)
+
+val to_json : t -> Tstm_obs.Json.t
+(** Every counter as a flat JSON object, [retry_hist] as an array — the
+    payload of [BENCH_*.json] snapshot cells and [repro run --stats-json].
+    Round-trips through {!of_json}. *)
+
+val of_json : Tstm_obs.Json.t -> (t, string) result
+(** Inverse of {!to_json}; [Error] names the first missing or ill-typed
+    field.  A [retry_hist] longer than {!retry_hist_buckets} is truncated. *)
+
 val pp : Format.formatter -> t -> unit
 (** Raw counters followed by the derived ratios, so a plain run's stats
     line is self-explanatory. *)
