@@ -66,10 +66,12 @@ let run_cmd =
   let run structure stm size updates overwrites threads duration locks_exp
       shifts hierarchy seed cm pattern trace metrics_csv top_contended periods
       san stats_json jobs =
-    let spec =
+    match
       W.make ~structure ~initial_size:size ~update_pct:updates
         ~overwrite_pct:overwrites ~nthreads:threads ~duration ~seed ~pattern ()
-    in
+    with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | spec ->
     let observing =
       trace <> None || metrics_csv <> None || top_contended <> None
     in
@@ -127,16 +129,18 @@ let run_cmd =
             print_san_findings o.Job.san_findings;
             exit 1
           end
-        end
+        end;
+        `Ok ()
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a single experiment point")
     Term.(
-      const run $ Cli.structure_arg $ Cli.stm_arg $ Cli.size_arg
-      $ Cli.updates_arg $ Cli.overwrites_arg $ Cli.threads_arg
-      $ Cli.duration_arg $ Cli.locks_exp_arg $ Cli.shifts_arg
-      $ Cli.hierarchy_arg $ Cli.seed_arg $ Cli.cm_arg $ Cli.workload_arg
-      $ Cli.trace_arg $ Cli.metrics_csv_arg $ Cli.top_contended_arg
-      $ Cli.periods_arg $ Cli.san_arg $ stats_json_arg $ Cli.jobs_arg)
+      ret
+        (const run $ Cli.structure_arg $ Cli.stm_arg $ Cli.size_arg
+        $ Cli.updates_arg $ Cli.overwrites_arg $ Cli.threads_arg
+        $ Cli.duration_arg $ Cli.locks_exp_arg $ Cli.shifts_arg
+        $ Cli.hierarchy_arg $ Cli.seed_arg $ Cli.cm_arg $ Cli.workload_arg
+        $ Cli.trace_arg $ Cli.metrics_csv_arg $ Cli.top_contended_arg
+        $ Cli.periods_arg $ Cli.san_arg $ stats_json_arg $ Cli.jobs_arg))
 
 let sweep_cmd =
   let axis_conv =
@@ -191,7 +195,10 @@ let sweep_cmd =
         p_san = false;
       }
     in
-    let outcomes = Cli.eval_points ~jobs (List.map point values) in
+    match List.map point values with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | points ->
+    let outcomes = Cli.eval_points ~jobs points in
     if Array.exists (fun o -> o = None) outcomes then begin
       Printf.eprintf "sweep incomplete: some points failed\n";
       exit 1
@@ -228,20 +235,22 @@ let sweep_cmd =
       }
     in
     Tstm_util.Series.print_table table;
-    match csv with
+    (match csv with
     | Some dir ->
         Cli.ensure_dir dir;
         Cli.save_csv dir (F.Table table)
-    | None -> ()
+    | None -> ());
+    `Ok ()
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep one tuning/workload axis and tabulate")
     Term.(
-      const run $ Cli.structure_arg $ Cli.stm_arg $ Cli.size_arg
-      $ Cli.updates_arg $ Cli.threads_arg $ Cli.duration_arg
-      $ Cli.locks_exp_arg $ Cli.shifts_arg $ Cli.hierarchy_arg $ Cli.seed_arg
-      $ Cli.cm_arg $ Cli.workload_arg $ Cli.csv_arg $ Cli.jobs_arg $ axis_arg
-      $ values_arg)
+      ret
+        (const run $ Cli.structure_arg $ Cli.stm_arg $ Cli.size_arg
+        $ Cli.updates_arg $ Cli.threads_arg $ Cli.duration_arg
+        $ Cli.locks_exp_arg $ Cli.shifts_arg $ Cli.hierarchy_arg $ Cli.seed_arg
+        $ Cli.cm_arg $ Cli.workload_arg $ Cli.csv_arg $ Cli.jobs_arg $ axis_arg
+        $ values_arg))
 
 let tune_cmd =
   let steps_arg =
@@ -254,10 +263,12 @@ let tune_cmd =
       & info [ "period" ] ~doc:"Measurement period (virtual seconds).")
   in
   let run structure size updates threads steps period seed =
-    let spec =
+    match
       W.make ~structure ~initial_size:size ~update_pct:updates
         ~nthreads:threads ~duration:1.0 ~seed ()
-    in
+    with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | spec ->
     let tr = S.run_intset_autotuned ~period ~n_steps:steps spec in
     Printf.printf "step  config                         thr(k/s)  move\n";
     List.iteri
@@ -266,12 +277,14 @@ let tune_cmd =
           (Tinystm.Config.to_string s.Tstm_tuning.Tuner.config)
           (s.Tstm_tuning.Tuner.throughput /. 1000.0)
           (Tstm_tuning.Tuner.move_label s.Tstm_tuning.Tuner.move))
-      tr.S.steps
+      tr.S.steps;
+    `Ok ()
   in
   Cmd.v (Cmd.info "tune" ~doc:"Run the dynamic tuner and print its path")
     Term.(
-      const run $ Cli.structure_arg $ Cli.size_arg $ Cli.updates_arg
-      $ Cli.threads_arg $ steps_arg $ period_arg $ Cli.seed_arg)
+      ret
+        (const run $ Cli.structure_arg $ Cli.size_arg $ Cli.updates_arg
+        $ Cli.threads_arg $ steps_arg $ period_arg $ Cli.seed_arg))
 
 let stress_cmd =
   let module St = Tstm_harness.Stress in
@@ -520,7 +533,8 @@ let storm_cmd =
   let print_report stm (r : Storm.report) =
     Format.printf "%-10s %a@." stm Storm.pp_report r
   in
-  let run stm all_stms threads quota watchdog expect_livelock seed cm jobs =
+  let run stm all_stms threads quota watchdog wd_window wd_starve wd_calm
+      expect_livelock seed cm jobs =
     let stms = if all_stms then S.all_stms else [ stm ] in
     let specs =
       Array.of_list
@@ -533,6 +547,9 @@ let storm_cmd =
                nthreads = threads;
                quota;
                watchdog;
+               wd_window;
+               wd_starve;
+               wd_calm;
                seed;
              })
            stms)
@@ -571,8 +588,282 @@ let storm_cmd =
           threads hammering the same words in opposite orders)")
     Term.(
       const run $ Cli.stm_arg $ all_stms_flag $ threads_arg $ quota_arg
-      $ watchdog_flag $ expect_livelock_flag $ Cli.seed_arg $ Cli.cm_arg
-      $ Cli.jobs_arg)
+      $ watchdog_flag
+      $ Cli.watchdog_window_arg ~default:Storm.default.Storm.wd_window
+      $ Cli.watchdog_retry_arg ~default:Storm.default.Storm.wd_starve
+      $ Cli.watchdog_calm_arg ~default:Storm.default.Storm.wd_calm
+      $ expect_livelock_flag $ Cli.seed_arg $ Cli.cm_arg $ Cli.jobs_arg)
+
+let serve_cmd =
+  let module Sv = Tstm_service.Service in
+  let module Arrival = Tstm_service.Arrival in
+  let module Slo = Tstm_obs.Slo in
+  let d = Sv.default in
+  let shed_conv =
+    let parse s =
+      match Sv.shed_of_string s with Ok p -> Ok p | Error m -> Error (`Msg m)
+    in
+    Arg.conv
+      (parse, fun ppf p -> Format.pp_print_string ppf (Sv.shed_to_string p))
+  in
+  let backend_conv =
+    let parse s =
+      match Sv.backend_of_string s with
+      | Ok b -> Ok b
+      | Error m -> Error (`Msg m)
+    in
+    Arg.conv
+      (parse, fun ppf b -> Format.pp_print_string ppf (Sv.backend_to_string b))
+  in
+  let arrival_conv =
+    let parse s =
+      match Arrival.of_string s with
+      | Ok a -> Ok a
+      | Error m -> Error (`Msg m)
+    in
+    Arg.conv
+      (parse, fun ppf a -> Format.pp_print_string ppf (Arrival.to_string a))
+  in
+  let all_stms_flag =
+    Arg.(
+      value & flag
+      & info [ "all-stms" ]
+          ~doc:"Serve on tinystm-wb, tinystm-wt and tl2 (overrides --stm).")
+  in
+  let shed_arg =
+    Arg.(
+      value & opt shed_conv d.Sv.shed
+      & info [ "shed" ] ~docv:"POLICY"
+          ~doc:
+            "Load-shedding policy: none, drop-newest, deadline (default) or \
+             serialize-hot — each step keeps the previous one's behaviour \
+             and adds its own.")
+  in
+  let all_sheds_flag =
+    Arg.(
+      value & flag
+      & info [ "all-sheds" ]
+          ~doc:"Run every shedding policy in ladder order (overrides --shed).")
+  in
+  let backend_arg =
+    Arg.(
+      value & opt backend_conv d.Sv.backend
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "What the service serves: an integer-set structure (list, \
+             rbtree, skiplist, hashset) or the multi-tenant vacation \
+             reservation service.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int d.Sv.workers
+      & info [ "workers" ] ~doc:"Dispatcher fibers (simulated CPUs).")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int d.Sv.shards
+      & info [ "shards" ] ~doc:"Admission queues / tenants.")
+  in
+  let arrival_arg =
+    Arg.(
+      value & opt arrival_conv d.Sv.arrival
+      & info [ "arrival" ] ~docv:"PROCESS"
+          ~doc:
+            "Arrival process: poisson:RATE, bursty:RATE:BOOST:PERIOD or \
+             diurnal:RATE:PERIOD[:AMP] (sessions per second).")
+  in
+  let overload_arg =
+    Arg.(
+      value
+      & opt float (match d.Sv.overload with Some x -> x | None -> 0.0)
+      & info [ "overload" ] ~docv:"X"
+          ~doc:
+            "Replace the arrival base rate with $(docv) times the calibrated \
+             closed-loop capacity (0 = use the --arrival rate as-is).")
+  in
+  let session_arg =
+    Arg.(
+      value & opt int d.Sv.session
+      & info [ "session" ] ~doc:"Requests per arriving session.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float d.Sv.horizon
+      & info [ "horizon" ] ~doc:"Arrival window, virtual seconds.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float d.Sv.deadline
+      & info [ "deadline" ] ~doc:"Per-request deadline, virtual seconds.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int d.Sv.retry_budget
+      & info [ "budget" ] ~doc:"Transaction attempts per request before it \
+                                fails fast as budget-exhausted.")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int d.Sv.queue_cap
+      & info [ "queue-cap" ]
+          ~doc:"Per-shard admission bound (ignored by --shed none).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int d.Sv.batch
+      & info [ "batch" ] ~doc:"Requests dequeued from one shard at a time.")
+  in
+  let watchdog_flag =
+    Arg.(
+      value & flag
+      & info [ "watchdog" ]
+          ~doc:
+            "Arm the progress watchdog (also felt by serialize-hot: a \
+             degraded level turns every shard owner-only).")
+  in
+  let record_flag =
+    Arg.(
+      value & flag
+      & info [ "record" ]
+          ~doc:
+            "Record per-shard operation histories and run the \
+             linearizability checker after drain (intset backends only).")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Sweep service seeds 0..N-1 (1 = just --seed).")
+  in
+  let periods_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "periods" ]
+          ~doc:"Slices in the per-period SLO table (--metrics-csv).")
+  in
+  let run stm all_stms shed all_sheds backend workers shards arrival overload
+      session pattern horizon deadline budget queue_cap batch watchdog
+      wd_window wd_starve wd_calm record san seeds seed metrics_csv periods
+      jobs =
+    let base =
+      {
+        d with
+        Sv.stm;
+        shed;
+        backend;
+        workers;
+        shards;
+        arrival;
+        overload = (if overload > 0.0 then Some overload else None);
+        session;
+        pattern;
+        horizon;
+        deadline;
+        retry_budget = budget;
+        queue_cap;
+        batch;
+        watchdog;
+        wd_window;
+        wd_starve;
+        wd_calm;
+        record;
+        san;
+        seed;
+      }
+    in
+    let stms = if all_stms then S.all_stms else [ stm ] in
+    let sheds = if all_sheds then Sv.all_sheds else [ shed ] in
+    let specs =
+      if seeds <= 1 then
+        Array.of_list
+          (List.concat_map
+             (fun stm -> List.map (fun shed -> { base with Sv.stm; shed }) sheds)
+             stms)
+      else Sv.plan ~seeds ~stms ~sheds base
+    in
+    if metrics_csv <> None && Array.length specs > 1 then
+      `Error (false, "--metrics-csv needs a single run (one stm/shed/seed)")
+    else begin
+      let plan = Array.map (fun s -> Job.Serve_run s) specs in
+      let res = Cli.execute ~jobs plan in
+      let hz = Sv.cycles_per_second () in
+      let failed = ref false in
+      Array.iteri
+        (fun i outcome ->
+          let spec = specs.(i) in
+          match outcome with
+          | Some (Job.Serve_report r) ->
+              Printf.printf
+                "serve %s %s shed=%s seed=%d: capacity=%.0f/s offered=%.0f/s \
+                 goodput=%.0f/s (%.0f%% of capacity)\n"
+                spec.Sv.stm
+                (Sv.backend_to_string spec.Sv.backend)
+                (Sv.shed_to_string spec.Sv.shed)
+                spec.Sv.seed r.Sv.capacity r.Sv.offered r.Sv.goodput
+                (if r.Sv.capacity > 0.0 then
+                   100.0 *. r.Sv.goodput /. r.Sv.capacity
+                 else 0.0);
+              print_string
+                (Slo.render ~cycles_to_ms:(fun c -> float_of_int c /. hz *. 1e3)
+                   r.Sv.slo);
+              Printf.printf "  peak queue depth=%d hot dispatches=%d%s\n"
+                r.Sv.max_depth r.Sv.hot_dispatches
+                (match r.Sv.wd with
+                | Some w ->
+                    Printf.sprintf " watchdog: %s (livelocks=%d starvations=%d)"
+                      (Tstm_runtime.Watchdog.level_to_string
+                         w.Tstm_runtime.Watchdog.snap_level)
+                      w.Tstm_runtime.Watchdog.snap_livelocks
+                      w.Tstm_runtime.Watchdog.snap_starvations
+                | None -> "");
+              if spec.Sv.san then
+                Printf.printf "  san: %d finding(s)\n"
+                  (List.length r.Sv.san_findings);
+              (match metrics_csv with
+              | Some path ->
+                  Tstm_obs.Metrics.write ~path
+                    (Sv.per_period_metrics ~periods r);
+                  Printf.printf "(per-period SLO CSV written to %s)\n" path
+              | None -> ());
+              if Sv.failed r then begin
+                failed := true;
+                List.iter
+                  (fun v -> Printf.printf "  VIOLATION: %s\n" v)
+                  r.Sv.violations;
+                if r.Sv.san_findings <> [] then
+                  print_san_findings r.Sv.san_findings;
+                if r.Sv.leak_words <> 0 then
+                  Printf.printf "  LEAK: %d words after drain\n" r.Sv.leak_words;
+                Printf.printf "  repro: %s\n" (Sv.repro_command spec)
+              end
+          | Some _ | None ->
+              failed := true;
+              Printf.printf "serve %s shed=%s seed=%d: no report\n"
+                spec.Sv.stm
+                (Sv.shed_to_string spec.Sv.shed)
+                spec.Sv.seed)
+        res.Tstm_exec.Plan.outcomes;
+      if !failed then exit 1;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Open-loop overload service: arrival-driven sessions against a \
+          sharded transactional backend with admission control, per-request \
+          deadlines/retry budgets and a load-shedding policy ladder")
+    Term.(
+      ret
+        (const run $ Cli.stm_arg $ all_stms_flag $ shed_arg $ all_sheds_flag
+        $ backend_arg $ workers_arg $ shards_arg $ arrival_arg $ overload_arg
+        $ session_arg $ Cli.workload_arg $ horizon_arg $ deadline_arg
+        $ budget_arg $ queue_cap_arg $ batch_arg $ watchdog_flag
+        $ Cli.watchdog_window_arg ~default:d.Sv.wd_window
+        $ Cli.watchdog_retry_arg ~default:d.Sv.wd_starve
+        $ Cli.watchdog_calm_arg ~default:d.Sv.wd_calm
+        $ record_flag $ Cli.san_arg $ seeds_arg $ Cli.seed_arg
+        $ Cli.metrics_csv_arg $ periods_arg $ Cli.jobs_arg))
 
 let () =
   let doc = "TinySTM (PPoPP'08) reproduction: figures and experiments" in
@@ -589,4 +880,5 @@ let () =
             tune_cmd;
             stress_cmd;
             storm_cmd;
+            serve_cmd;
           ]))

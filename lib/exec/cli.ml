@@ -198,6 +198,36 @@ let workload_arg =
           "Adversarial workload pattern: uniform (default), zipf:THETA, \
            hotspot:N, bimodal:SPAN or rates:F.")
 
+(* Watchdog threshold flags, shared by `repro storm` and `repro serve` so
+   the two commands cannot drift; the defaults differ per caller (storm's
+   tight window vs the service's longer one), hence the parameter. *)
+let watchdog_window_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "watchdog-window" ] ~docv:"CYCLES"
+        ~doc:
+          (Printf.sprintf
+             "Progress-watchdog window length in cycles; a window with zero \
+              commits counts as a livelock (default %d)." default))
+
+let watchdog_retry_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "watchdog-retry-ceiling" ] ~docv:"N"
+        ~doc:
+          (Printf.sprintf
+             "Retry count at which the watchdog declares a transaction \
+              starved (default %d)." default))
+
+let watchdog_calm_arg ~default =
+  Arg.(
+    value & opt int default
+    & info [ "watchdog-calm" ] ~docv:"W"
+        ~doc:
+          (Printf.sprintf
+             "Consecutive calm windows before the degradation ladder steps \
+              back down a level (default %d)." default))
+
 (* ------------------------------------------------------------------ *)
 (* Pooled execution with stderr progress                               *)
 (* ------------------------------------------------------------------ *)
@@ -508,14 +538,22 @@ let run_bench_real ?out ~stm ~structure ~domains ~pattern ~size ~update_pct
   end
 
 let run_bench_compare ~threshold ~report_only ~old_path ~new_path () =
-  match (Bench.read ~path:old_path, Bench.read ~path:new_path) with
-  | Error e, _ ->
-      prerr_string (Printf.sprintf "bench compare: %s: %s\n" old_path e);
-      false
-  | _, Error e ->
-      prerr_string (Printf.sprintf "bench compare: %s: %s\n" new_path e);
-      false
-  | Ok old_snap, Ok new_snap ->
+  (* A snapshot that cannot be loaded (unreadable file, malformed JSON, or
+     a newer schema than this binary understands) is a diagnostic, not a
+     regression: say exactly what failed, and let --report-only still exit
+     0 so an informational CI step never turns red on a format bump. *)
+  let load path =
+    match Bench.read ~path with
+    | Ok snap -> Some snap
+    | Error e ->
+        prerr_string
+          (Printf.sprintf
+             "bench compare: cannot load %s: %s (comparison skipped)\n" path e);
+        None
+  in
+  match (load old_path, load new_path) with
+  | None, _ | _, None -> report_only
+  | Some old_snap, Some new_snap ->
       let v = Bench.compare ~threshold_pct:threshold ~old_snap ~new_snap () in
       print_string (Bench.render_verdict v);
       flush stdout;

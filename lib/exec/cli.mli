@@ -51,6 +51,16 @@ val workload_arg : Tstm_harness.Workload.pattern Cmdliner.Term.t
     ({!Tstm_harness.Workload.pattern_of_string} forms); default
     [Uniform]. *)
 
+val watchdog_window_arg : default:int -> int Cmdliner.Term.t
+(** [--watchdog-window CYCLES]: progress-watchdog window length.  Shared
+    by `repro storm` and `repro serve` (different defaults). *)
+
+val watchdog_retry_arg : default:int -> int Cmdliner.Term.t
+(** [--watchdog-retry-ceiling N]: starvation retry ceiling. *)
+
+val watchdog_calm_arg : default:int -> int Cmdliner.Term.t
+(** [--watchdog-calm W]: calm windows before de-escalation. *)
+
 (** {1 Pooled execution} *)
 
 val execute :
@@ -156,4 +166,7 @@ val run_bench_compare :
   bool
 (** Compare two snapshots ({!Tstm_obs.Bench.compare}) and print the
     verdict on stdout.  Returns [false] when a regression was flagged and
-    [report_only] is unset, or when either file fails to load. *)
+    [report_only] is unset, or when either file fails to load (unreadable,
+    malformed, or a newer schema than this binary understands — the
+    diagnostic on stderr says which).  With [report_only] set the result
+    is always [true]: an informational comparison never fails the run. *)

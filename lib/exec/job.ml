@@ -8,6 +8,7 @@ module F = Tstm_harness.Figures
 module Stress = Tstm_harness.Stress
 module Storm = Tstm_harness.Storm
 module Ablation = Tstm_harness.Ablation
+module Service = Tstm_service.Service
 module Scenario = Tstm_harness.Scenario
 module Workload = Tstm_harness.Workload
 module San = Tstm_san.San
@@ -30,6 +31,7 @@ type t =
   | Stress_run of Stress.spec
   | Storm_run of Storm.spec
   | Ablation_point of Ablation.point
+  | Serve_run of Service.spec
 
 type point_outcome = {
   result : Workload.result;
@@ -45,6 +47,7 @@ type outcome =
   | Stress_report of Stress.report
   | Storm_report of Storm.report
   | Ablation_row of Ablation.row
+  | Serve_report of Service.report
 
 let run_point p =
   let cm =
@@ -83,6 +86,7 @@ let run = function
   | Stress_run spec -> Stress_report (Stress.run_one spec)
   | Storm_run spec -> Storm_report (Storm.run_one spec)
   | Ablation_point pt -> Ablation_row (Ablation.run_point pt)
+  | Serve_run spec -> Serve_report (Service.run_one spec)
 
 let label = function
   | Figure_cell { fig; cell } ->
@@ -105,3 +109,9 @@ let label = function
         spec.Storm.seed
         (if spec.Storm.watchdog then " watchdog" else "")
   | Ablation_point pt -> Ablation.point_label pt
+  | Serve_run spec ->
+      Printf.sprintf "serve %s %s shed=%s seed=%d%s" spec.Service.stm
+        (Service.backend_to_string spec.Service.backend)
+        (Service.shed_to_string spec.Service.shed)
+        spec.Service.seed
+        (if spec.Service.watchdog then " watchdog" else "")

@@ -32,6 +32,7 @@ type t =
   | Stress_run of Tstm_harness.Stress.spec
   | Storm_run of Tstm_harness.Storm.spec
   | Ablation_point of Tstm_harness.Ablation.point
+  | Serve_run of Tstm_service.Service.spec
 
 type point_outcome = {
   result : Tstm_harness.Workload.result;
@@ -47,6 +48,7 @@ type outcome =
   | Stress_report of Tstm_harness.Stress.report
   | Storm_report of Tstm_harness.Storm.report
   | Ablation_row of Tstm_harness.Ablation.row
+  | Serve_report of Tstm_service.Service.report
 
 val run : t -> outcome
 (** Evaluate one job on the simulated runtime.  Deterministic: the outcome

@@ -30,13 +30,10 @@ module Tl = Tstm_tl2.Tl2.Make (R)
    bounded by the thread count, so they index shards directly. *)
 let () = Sink.set_domain_id R.tid
 
-(* A packaged STM plus the allocator diagnostic the integrity check needs
-   ([Intf.STM] deliberately hides the memory handle). *)
-module type STM = sig
-  include Intf.STM
-
-  val live_words : t -> int
-end
+(* A packaged STM over the real runtime.  [Intf.STM] carries [live_words]
+   (the allocator diagnostic the integrity check needs) since PR 7, so no
+   local signature extension remains. *)
+module type STM = Intf.STM
 
 let config_of_tuning strategy (tu : Intf.tuning) =
   Config.make ~n_locks:tu.Intf.n_locks ~shifts:tu.Intf.shifts

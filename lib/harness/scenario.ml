@@ -37,6 +37,8 @@ end) : Intf.STM = struct
 
   let configure t tuning =
     Ts.set_config t (config_of_tuning Strategy.strategy tuning)
+
+  let live_words t = V.live_words (Ts.memory t)
 end
 
 module Stm_wb = Tinystm_packed (struct
@@ -59,6 +61,7 @@ module Stm_tl2 : Intf.STM = struct
       ?max_retries ?cm ?watchdog ~memory_words ()
 
   let configure _ _ = invalid_arg "tl2: dynamic reconfiguration unsupported"
+  let live_words t = V.live_words (Tl.memory t)
 end
 
 let () =

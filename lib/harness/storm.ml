@@ -27,9 +27,17 @@ type spec = {
   quota : int;
   deadline : float;
   watchdog : bool;
+  wd_window : int;
+  wd_starve : int;
+  wd_calm : int;
   seed : int;
 }
 
+(* The default zero-commit window is deliberately tight: the storm's retry
+   loop burns only a few hundred cycles per attempt, so the watchdog's
+   repo-wide 50k-cycle default would let the starvation ceiling fire first
+   every time.  1024 cycles makes the livelock detector the one that trips
+   — the signal this workload exists to demonstrate. *)
 let default =
   {
     stm = "tinystm-wb";
@@ -38,6 +46,9 @@ let default =
     quota = 32;
     deadline = 0.002;
     watchdog = false;
+    wd_window = 1024;
+    wd_starve = 64;
+    wd_calm = 2;
     seed = 0;
   }
 
@@ -62,6 +73,13 @@ let repro_command spec =
   if spec.quota <> default.quota then
     Buffer.add_string b (Printf.sprintf " --quota %d" spec.quota);
   if spec.watchdog then Buffer.add_string b " --watchdog";
+  if spec.wd_window <> default.wd_window then
+    Buffer.add_string b (Printf.sprintf " --watchdog-window %d" spec.wd_window);
+  if spec.wd_starve <> default.wd_starve then
+    Buffer.add_string b
+      (Printf.sprintf " --watchdog-retry-ceiling %d" spec.wd_starve);
+  if spec.wd_calm <> default.wd_calm then
+    Buffer.add_string b (Printf.sprintf " --watchdog-calm %d" spec.wd_calm);
   Buffer.contents b
 
 (* The deadline escape: raised from inside the transaction body (before any
@@ -76,13 +94,12 @@ let run_one spec =
     | Ok p -> p
     | Error msg -> invalid_arg ("Storm.run_one: " ^ msg)
   in
-  (* A tight zero-commit window: the storm's retry loop burns only a few
-     hundred cycles per attempt, so the default 50k-cycle window would let
-     the starvation ceiling fire first every time.  1024 cycles makes the
-     livelock detector the one that trips — the signal this workload
-     exists to demonstrate. *)
   let wd =
-    if spec.watchdog then Some (Watchdog.create ~window:1024 ()) else None
+    if spec.watchdog then
+      Some
+        (Watchdog.create ~window:spec.wd_window
+           ~starve_retries:spec.wd_starve ~recover_windows:spec.wd_calm ())
+    else None
   in
   let (module M) = Registry.get spec.stm in
   let npairs = (spec.nthreads + 1) / 2 in

@@ -20,13 +20,18 @@ type spec = {
   nthreads : int;  (** >= 2; odd counts leave the last thread unpaired *)
   quota : int;  (** commits each thread must reach *)
   deadline : float;  (** virtual seconds before a thread gives up *)
-  watchdog : bool;  (** arm a default-parameter progress watchdog *)
+  watchdog : bool;  (** arm the progress watchdog *)
+  wd_window : int;  (** watchdog zero-commit window, cycles *)
+  wd_starve : int;  (** watchdog per-transaction retry ceiling; 0 disables *)
+  wd_calm : int;  (** calm windows before one de-escalation step *)
   seed : int;
 }
 
 val default : spec
 (** 4 threads on [tinystm-wb] under [suicide], quota 32, 2 ms deadline,
-    watchdog off. *)
+    watchdog off with a 1024-cycle window, retry ceiling 64 and calm
+    window 2 (tight enough that the storm's livelock detector, not the
+    starvation ceiling, trips first — pinned by a golden test). *)
 
 type report = {
   commits : int array;  (** per-thread commit counts *)

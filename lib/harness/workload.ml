@@ -44,9 +44,11 @@ let pattern_of_string s =
   match base with
   | "uniform" -> ( match arg with None -> Ok Uniform | Some _ -> Error "uniform takes no argument")
   | "zipf" -> (
+      (* [float_of_string] accepts "inf"/"nan"; a non-finite theta would
+         poison the CDF, so reject it like any other malformed argument. *)
       match float_arg () with
-      | Some theta when theta > 0.0 -> Ok (Zipf theta)
-      | _ -> Error "zipf:THETA needs a positive float (e.g. zipf:1.2)")
+      | Some theta when Float.is_finite theta && theta > 0.0 -> Ok (Zipf theta)
+      | _ -> Error "zipf:THETA needs a positive finite float (e.g. zipf:1.2)")
   | "hotspot" -> (
       match int_arg () with
       | Some n when n >= 1 -> Ok (Hotspot n)
@@ -57,8 +59,8 @@ let pattern_of_string s =
       | _ -> Error "bimodal:SPAN needs a positive integer (e.g. bimodal:8)")
   | "rates" -> (
       match float_arg () with
-      | Some f when f >= 1.0 -> Ok (Asym f)
-      | _ -> Error "rates:F needs a float >= 1 (e.g. rates:2.0)")
+      | Some f when Float.is_finite f && f >= 1.0 -> Ok (Asym f)
+      | _ -> Error "rates:F needs a finite float >= 1 (e.g. rates:2.0)")
   | _ ->
       Error
         (Printf.sprintf

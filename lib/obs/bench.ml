@@ -342,7 +342,14 @@ let render_verdict v =
     (fun k -> Buffer.add_string b (Printf.sprintf "%-40s (new cell)\n" k))
     v.added;
   Buffer.add_string b
-    (if v.regressions = 0 then "no regressions beyond noise\n"
+    (if v.deltas = [] && (v.missing <> [] || v.added <> []) then
+       (* Disjoint cell sets: a verdict over zero comparisons is vacuous,
+          so say that instead of declaring a clean bill of health. *)
+       Printf.sprintf
+         "no comparable cells: the snapshots share no (stm, structure, \
+          domains, workload) key (%d only in old, %d only in new)\n"
+         (List.length v.missing) (List.length v.added)
+     else if v.regressions = 0 then "no regressions beyond noise\n"
      else Printf.sprintf "%d regression(s) beyond noise\n" v.regressions);
   Buffer.contents b
 

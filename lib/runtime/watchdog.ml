@@ -62,6 +62,27 @@ let livelocks t = t.n_livelocks
 let starvations t = t.n_starvations
 let switches t = t.n_switches
 
+type snapshot = {
+  snap_level : level;
+  snap_livelocks : int;
+  snap_starvations : int;
+  snap_switches : int;
+  snap_window : int;
+  snap_starve_retries : int;
+  snap_recover_windows : int;
+}
+
+let snapshot t =
+  {
+    snap_level = t.lvl;
+    snap_livelocks = t.n_livelocks;
+    snap_starvations = t.n_starvations;
+    snap_switches = t.n_switches;
+    snap_window = t.window;
+    snap_starve_retries = t.starve_retries;
+    snap_recover_windows = t.recover_windows;
+  }
+
 let last_commit t ~tid =
   if tid >= 0 && tid < max_cpus then t.heartbeat.(tid) else -1
 

@@ -44,6 +44,22 @@ val create :
 
 val level : t -> level
 
+(** Point-in-time export of the watchdog's externally relevant state: the
+    degradation level, the cumulative detection counters and the configured
+    thresholds.  Layers above the STM (the service admission layer, CLI
+    reports) read this instead of poking individual accessors. *)
+type snapshot = {
+  snap_level : level;
+  snap_livelocks : int;
+  snap_starvations : int;
+  snap_switches : int;
+  snap_window : int;  (** configured zero-commit window, cycles *)
+  snap_starve_retries : int;  (** configured retry ceiling; 0 = disabled *)
+  snap_recover_windows : int;  (** configured calm-window count *)
+}
+
+val snapshot : t -> snapshot
+
 val note_commit : t -> now:int -> tid:int -> event list
 (** Record a commit at virtual cycle [now] on CPU [tid].  May de-escalate
     (the recovery probe); a level change is returned as a [Switch] event. *)

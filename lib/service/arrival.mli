@@ -1,0 +1,48 @@
+(** Deterministic arrival processes for the service layer.
+
+    A process is a shape plus a base rate; {!times} samples the session
+    arrival instants over a horizon by thinning a homogeneous Poisson
+    process at the peak rate — fully deterministic from the seed, so every
+    overload run replays bit-identically.
+
+    Shapes:
+    - [Poisson]: constant rate [rate].
+    - [Bursty]: [boost]× the base rate during the first quarter of every
+      [period], base rate otherwise (mean > base — bursts are extra load).
+    - [Diurnal]: sinusoidal [rate * (1 + amp * sin (2*pi*t / period))]
+      (mean = base rate). *)
+
+type shape =
+  | Poisson
+  | Bursty of { boost : float; period : float }
+  | Diurnal of { amp : float; period : float }
+
+type t = { shape : shape; rate : float  (** base rate, requests/s *) }
+
+val duty : float
+(** Fraction of each bursty period spent at the boosted rate (0.25). *)
+
+val rate_at : t -> now:float -> float
+(** Instantaneous rate at virtual time [now]. *)
+
+val peak_rate : t -> float
+
+val mean_rate : t -> float
+(** Long-run average: [rate] for Poisson/Diurnal,
+    [rate * (1 + duty * (boost - 1))] for Bursty. *)
+
+val scale : t -> float -> t
+(** [scale t r] replaces the base rate with [r] (same shape). *)
+
+val times : t -> seed:int -> horizon:float -> float list
+(** Ascending arrival instants in [\[0, horizon)]. *)
+
+val to_string : t -> string
+(** ["poisson:RATE"], ["bursty:RATE:BOOST:PERIOD"],
+    ["diurnal:RATE:PERIOD:AMP"] — round-trips through {!of_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parse the {!to_string} forms ([diurnal]'s [:AMP] may be omitted,
+    defaulting to [0.8]).  Every parameter must be finite and positive;
+    [boost > 1]; [0 <= amp < 1].  Errors are usage messages suitable for
+    cmdliner converters — parsing never raises. *)

@@ -91,4 +91,9 @@ module type STM = sig
   (** Re-tune a quiescent instance in place (the clock roll-over fence of
       paper §4.2).  Raises [Invalid_argument] for STMs without dynamic
       reconfiguration (TL2). *)
+
+  val live_words : t -> int
+  (** Words currently allocated in the instance's arena — the allocator
+      diagnostic behind the zero-drift integrity checks (the underlying
+      memory handle itself stays hidden).  Call while quiescent. *)
 end

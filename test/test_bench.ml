@@ -139,6 +139,43 @@ let test_stats_roundtrip () =
         (Json.to_string (Stats.to_json s'));
       Alcotest.(check int) "aborts recompute" (Stats.aborts s) (Stats.aborts s')
 
+(* Property-style: any counter combination survives the JSON round-trip,
+   fairness counters (kills, retry ceilings, CM switches) and the full
+   retry histogram included — not just the hand-picked values above. *)
+let test_stats_roundtrip_random () =
+  let g = Tstm_util.Xrand.create 0xbe5c in
+  let r () = Tstm_util.Xrand.int g 1_000_000 in
+  for iter = 1 to 100 do
+    let s = Stats.create () in
+    s.Stats.commits <- r ();
+    s.Stats.commits_read_only <- r ();
+    s.Stats.aborts_read_conflict <- r ();
+    s.Stats.aborts_write_conflict <- r ();
+    s.Stats.aborts_validation <- r ();
+    s.Stats.aborts_rollover <- r ();
+    s.Stats.aborts_killed <- r ();
+    s.Stats.reads <- r ();
+    s.Stats.writes <- r ();
+    s.Stats.extensions <- r ();
+    s.Stats.validations <- r ();
+    s.Stats.val_locks_processed <- r ();
+    s.Stats.val_locks_skipped <- r ();
+    s.Stats.escalations <- r ();
+    s.Stats.backoff_cycles <- r ();
+    s.Stats.max_retries_seen <- r ();
+    s.Stats.cm_switches <- r ();
+    for i = 0 to Stats.retry_hist_buckets - 1 do
+      s.Stats.retry_hist.(i) <- r ()
+    done;
+    match Stats.of_json (Stats.to_json s) with
+    | Error e -> Alcotest.fail (Printf.sprintf "iteration %d: %s" iter e)
+    | Ok s' ->
+        if Json.to_string (Stats.to_json s) <> Json.to_string (Stats.to_json s')
+        then
+          Alcotest.fail
+            (Printf.sprintf "iteration %d: round-trip changed the record" iter)
+  done
+
 let test_stats_of_json_errors () =
   (match Stats.of_json (Json.Obj [ ("commits", Json.Int 1) ]) with
   | Ok _ -> Alcotest.fail "accepted a truncated object"
@@ -289,6 +326,78 @@ let test_compare_matching () =
     [ "tl2/rbtree/d2/uniform/n256/u20" ]
     v.Bench.added
 
+let test_compare_disjoint () =
+  (* Entirely disjoint cell sets: nothing to diff.  The verdict must say
+     so explicitly rather than printing an empty table that reads as "no
+     regressions". *)
+  let v =
+    Bench.compare
+      ~old_snap:(snap [ cell [ 1.0 ]; cell ~domains:4 [ 1.0 ] ])
+      ~new_snap:(snap [ cell ~stm:"tl2" [ 1.0 ] ])
+      ()
+  in
+  Alcotest.(check int) "no deltas" 0 (List.length v.Bench.deltas);
+  Alcotest.(check int) "no regressions" 0 v.Bench.regressions;
+  let rendered = Bench.render_verdict v in
+  let contains sub =
+    let n = String.length sub and m = String.length rendered in
+    let rec go i = i + n <= m && (String.sub rendered i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    "diagnostic names the problem" true
+    (contains "no comparable cells");
+  Alcotest.(check bool) "counts the old-only cells" true (contains "2 only in old");
+  Alcotest.(check bool) "counts the new-only cells" true (contains "1 only in new")
+
+(* ------------------------------------------------------------------ *)
+(* bench compare CLI driver: unreadable / newer-schema inputs           *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_file content f =
+  let path = Filename.temp_file "tstm_bench_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      f path)
+
+let test_compare_cli_robustness () =
+  let good = Bench.to_string (snap [ cell [ 100.0; 100.0; 100.0 ] ]) in
+  let newer = replace ~sub:"tstm-bench/1" ~by:"tstm-bench/999" good in
+  let run ~report_only old_c new_c =
+    with_temp_file old_c (fun old_path ->
+        with_temp_file new_c (fun new_path ->
+            Tstm_exec.Cli.run_bench_compare ~threshold:10.0 ~report_only
+              ~old_path ~new_path ()))
+  in
+  (* A snapshot from a newer binary must fail loudly, not misreport. *)
+  Alcotest.(check bool)
+    "newer schema fails the comparison" false
+    (run ~report_only:false good newer);
+  Alcotest.(check bool)
+    "newer schema under --report-only still exits clean" true
+    (run ~report_only:true good newer);
+  (* Malformed JSON likewise. *)
+  Alcotest.(check bool)
+    "garbage input fails the comparison" false
+    (run ~report_only:false good "{not json");
+  Alcotest.(check bool)
+    "garbage input under --report-only still exits clean" true
+    (run ~report_only:true good "{not json");
+  (* A missing file is a load failure, not a crash. *)
+  Alcotest.(check bool)
+    "missing file fails the comparison" false
+    (with_temp_file good (fun old_path ->
+         Tstm_exec.Cli.run_bench_compare ~threshold:10.0 ~report_only:false
+           ~old_path ~new_path:"/nonexistent/BENCH_missing.json" ()));
+  (* Identical healthy snapshots still compare clean end to end. *)
+  Alcotest.(check bool)
+    "healthy snapshots pass" true
+    (run ~report_only:false good good)
+
 (* ------------------------------------------------------------------ *)
 (* Monotonic clock                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -322,6 +431,8 @@ let () =
       ( "tm-stats",
         [
           Alcotest.test_case "roundtrip" `Quick test_stats_roundtrip;
+          Alcotest.test_case "roundtrip random" `Quick
+            test_stats_roundtrip_random;
           Alcotest.test_case "errors" `Quick test_stats_of_json_errors;
         ] );
       ( "snapshot",
@@ -334,6 +445,9 @@ let () =
         [
           Alcotest.test_case "thresholds" `Quick test_compare_thresholds;
           Alcotest.test_case "matching" `Quick test_compare_matching;
+          Alcotest.test_case "disjoint" `Quick test_compare_disjoint;
+          Alcotest.test_case "cli robustness" `Quick
+            test_compare_cli_robustness;
         ] );
       ( "monotonic",
         [ Alcotest.test_case "monotonic" `Quick test_monotonic ] );

@@ -1,0 +1,400 @@
+(* The service layer: arrival processes, the admission/shedding ladder,
+   the overload demo the ISSUE pins (shedding disabled -> SLO blown;
+   ladder -> goodput and tail held), cross-process determinism of serve
+   plans, and a small record+san stress sweep with the zero-drift drain
+   check.
+
+   Also home to the PR's robustness satellites: negative workload-pattern
+   parses and the golden watchdog-threshold defaults of `repro storm` and
+   `repro serve`. *)
+
+module Service = Tstm_service.Service
+module Arrival = Tstm_service.Arrival
+module Slo = Tstm_obs.Slo
+module W = Tstm_harness.Workload
+module Storm = Tstm_harness.Storm
+module Scenario = Tstm_harness.Scenario
+module Job = Tstm_exec.Job
+module Plan = Tstm_exec.Plan
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Arrival processes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_arrival_parse_roundtrip () =
+  List.iter
+    (fun s ->
+      match Arrival.of_string s with
+      | Error e -> Alcotest.fail (s ^ ": " ^ e)
+      | Ok a ->
+          check_string ("round-trips " ^ s) s (Arrival.to_string a);
+          (match Arrival.of_string (Arrival.to_string a) with
+          | Ok a' -> check_bool ("stable " ^ s) true (a = a')
+          | Error e -> Alcotest.fail e))
+    [
+      "poisson:100000";
+      "bursty:50000:4:0.001";
+      "diurnal:80000:0.002:0.5";
+    ];
+  (* diurnal amp defaults to 0.8 when omitted. *)
+  match Arrival.of_string "diurnal:1000:0.01" with
+  | Ok { Arrival.shape = Arrival.Diurnal { amp; _ }; _ } ->
+      Alcotest.(check (float 1e-9)) "default amp" 0.8 amp
+  | _ -> Alcotest.fail "diurnal without amp rejected"
+
+let test_arrival_parse_negative () =
+  List.iter
+    (fun s ->
+      match Arrival.of_string s with
+      | Ok _ -> Alcotest.fail ("accepted " ^ s)
+      | Error e -> check_bool ("usage message for " ^ s) true (e <> ""))
+    [
+      "";
+      "poisson";
+      "poisson:";
+      "poisson:-1";
+      "poisson:inf";
+      "poisson:nan";
+      "bursty:100";
+      "bursty:100:0.5:0.01" (* boost must exceed 1 *);
+      "bursty:100:4:0" (* period must be positive *);
+      "diurnal:100:0.01:1.5" (* amp must stay below 1 *);
+      "diurnal:100:0.01:-0.1";
+      "weibull:3:4";
+    ]
+
+let test_arrival_times () =
+  let a = { Arrival.shape = Arrival.Poisson; rate = 50_000.0 } in
+  let ts = Arrival.times a ~seed:3 ~horizon:0.01 in
+  check_bool "nonempty" true (ts <> []);
+  check_bool "deterministic" true (ts = Arrival.times a ~seed:3 ~horizon:0.01);
+  check_bool "another seed differs" true
+    (ts <> Arrival.times a ~seed:4 ~horizon:0.01);
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a <= b && ascending rest
+    | _ -> true
+  in
+  check_bool "ascending" true (ascending ts);
+  check_bool "inside the horizon" true
+    (List.for_all (fun t -> t >= 0.0 && t < 0.01) ts);
+  (* ~500 expected; thinning keeps the count in the right decade. *)
+  let n = List.length ts in
+  check_bool "plausible count" true (n > 300 && n < 800)
+
+let test_arrival_rates () =
+  let base = 1000.0 in
+  let bursty =
+    { Arrival.shape = Arrival.Bursty { boost = 4.0; period = 0.01 }; rate = base }
+  in
+  Alcotest.(check (float 1e-6))
+    "bursty boosts the window head" (4.0 *. base)
+    (Arrival.rate_at bursty ~now:0.001);
+  Alcotest.(check (float 1e-6))
+    "bursty tail is the base rate" base
+    (Arrival.rate_at bursty ~now:0.009);
+  Alcotest.(check (float 1e-6))
+    "bursty mean counts the duty cycle"
+    (base *. (1.0 +. (Arrival.duty *. 3.0)))
+    (Arrival.mean_rate bursty);
+  let diurnal =
+    { Arrival.shape = Arrival.Diurnal { amp = 0.5; period = 0.01 }; rate = base }
+  in
+  Alcotest.(check (float 1e-6))
+    "diurnal mean is the base rate" base (Arrival.mean_rate diurnal);
+  Alcotest.(check (float 1e-6))
+    "diurnal peak" (1.5 *. base) (Arrival.peak_rate diurnal)
+
+(* ------------------------------------------------------------------ *)
+(* Workload-pattern parsing (negative paths)                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_pattern_parse_negative () =
+  List.iter
+    (fun s ->
+      match W.pattern_of_string s with
+      | Ok _ -> Alcotest.fail ("accepted " ^ s)
+      | Error e -> check_bool ("usage message for " ^ s) true (e <> ""))
+    [
+      "zipf:";
+      "zipf:abc";
+      "zipf:-1";
+      "zipf:0";
+      "zipf:inf";
+      "zipf:nan";
+      "hotspot:-1";
+      "hotspot:0";
+      "hotspot:";
+      "bimodal:-3";
+      "rates:0.5";
+      "rates:inf";
+      "uniform:2";
+      "pareto:1.5";
+      "";
+    ]
+
+let test_pattern_parse_positive () =
+  List.iter
+    (fun (s, p) ->
+      match W.pattern_of_string s with
+      | Ok p' -> check_bool ("parses " ^ s) true (p = p')
+      | Error e -> Alcotest.fail (s ^ ": " ^ e))
+    [
+      ("uniform", W.Uniform);
+      ("zipf:1.2", W.Zipf 1.2);
+      ("hotspot:4", W.Hotspot 4);
+      ("bimodal:8", W.Bimodal 8);
+      ("rates:2.0", W.Asym 2.0);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Golden watchdog-threshold defaults                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* These defaults are CLI surface: `repro storm`/`repro serve` replay
+   commands embed them implicitly, so changing one silently changes what
+   old repro lines mean.  Pin them. *)
+let test_watchdog_defaults () =
+  check_int "storm window" 1024 Storm.default.Storm.wd_window;
+  check_int "storm retry ceiling" 64 Storm.default.Storm.wd_starve;
+  check_int "storm calm windows" 2 Storm.default.Storm.wd_calm;
+  check_int "serve window" 50_000 Service.default.Service.wd_window;
+  check_int "serve retry ceiling" 64 Service.default.Service.wd_starve;
+  check_int "serve calm windows" 2 Service.default.Service.wd_calm
+
+let test_repro_commands_render_thresholds () =
+  let storm =
+    Storm.repro_command
+      { Storm.default with Storm.wd_window = 2048; wd_starve = 32; wd_calm = 3 }
+  in
+  check_bool "storm window flag" true
+    (contains ~sub:"--watchdog-window 2048" storm);
+  check_bool "storm ceiling flag" true
+    (contains ~sub:"--watchdog-retry-ceiling 32" storm);
+  check_bool "storm calm flag" true (contains ~sub:"--watchdog-calm 3" storm);
+  check_bool "storm defaults stay implicit" false
+    (contains ~sub:"--watchdog-window" (Storm.repro_command Storm.default));
+  let serve =
+    Service.repro_command
+      {
+        Service.default with
+        Service.watchdog = true;
+        wd_window = 9999;
+        shed = Service.Serialize_hot;
+      }
+  in
+  check_bool "serve window flag" true
+    (contains ~sub:"--watchdog-window 9999" serve);
+  check_bool "serve shed flag" true (contains ~sub:"--shed serialize-hot" serve);
+  check_bool "serve defaults stay implicit" false
+    (contains ~sub:"--watchdog-window"
+       (Service.repro_command Service.default))
+
+(* ------------------------------------------------------------------ *)
+(* Spec validation and parsing                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_spec_validation () =
+  let expect_invalid label spec =
+    match Service.run_one spec with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (label ^ ": accepted")
+  in
+  let d = Service.default in
+  expect_invalid "workers" { d with Service.workers = 0 };
+  expect_invalid "shards" { d with Service.shards = 0 };
+  expect_invalid "budget" { d with Service.retry_budget = 0 };
+  expect_invalid "deadline" { d with Service.deadline = 0.0 };
+  expect_invalid "queue cap" { d with Service.queue_cap = 0 };
+  expect_invalid "overload" { d with Service.overload = Some (-2.0) };
+  expect_invalid "population" { d with Service.initial_size = d.Service.key_range };
+  match Service.backend_of_string "btree" with
+  | Ok _ -> Alcotest.fail "accepted unknown backend"
+  | Error e -> check_bool "backend error message" true (contains ~sub:"btree" e)
+
+(* ------------------------------------------------------------------ *)
+(* The overload demo (ISSUE acceptance): fixed seed, 2x capacity        *)
+(* ------------------------------------------------------------------ *)
+
+(* The same invariants as test/serve_smoke.ml but on a shorter horizon:
+   (a) shedding disabled -> deadline-miss rate and executed-request p99
+   blow past the SLO; (b) the full ladder -> goodput >= 80% of calibrated
+   capacity and admitted-request tail inside the deadline. *)
+let overload_demo stm () =
+  let hz = Service.cycles_per_second () in
+  let base =
+    {
+      Service.default with
+      Service.stm;
+      seed = 7;
+      watchdog = true;
+      horizon = 0.001;
+    }
+  in
+  let r0 = Service.run_one { base with Service.shed = Service.No_shed } in
+  let s0 = r0.Service.slo in
+  check_bool "no-shed accounted" true (not (Service.failed r0));
+  check_int "no-shed sheds nothing" 0 s0.Slo.shed;
+  check_bool "no-shed miss rate blows up" true
+    (float_of_int s0.Slo.deadline_missed
+    >= 0.3 *. float_of_int (max 1 s0.Slo.admitted));
+  check_bool "no-shed p99 past the deadline" true
+    (float_of_int s0.Slo.p99_done /. hz >= base.Service.deadline);
+  let r1 = Service.run_one { base with Service.shed = Service.Serialize_hot } in
+  let s1 = r1.Service.slo in
+  check_bool "ladder accounted" true (not (Service.failed r1));
+  check_bool "ladder sheds under overload" true (s1.Slo.shed + s1.Slo.dropped > 0);
+  check_bool "ladder goodput >= 80% of capacity" true
+    (r1.Service.goodput >= 0.8 *. r1.Service.capacity);
+  check_bool "ladder keeps the tail inside the deadline" true
+    (float_of_int s1.Slo.late
+    <= 0.01 *. float_of_int (max 1 (s1.Slo.committed + s1.Slo.late)));
+  check_int "no leak either way" 0 (r0.Service.leak_words + r1.Service.leak_words)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-process determinism of serve plans                            *)
+(* ------------------------------------------------------------------ *)
+
+let fingerprint (res : Plan.result) =
+  Digest.to_hex (Digest.string (Marshal.to_string res.Plan.outcomes []))
+
+let test_serve_plan_deterministic () =
+  let base =
+    { Service.default with Service.horizon = 0.0005; watchdog = true }
+  in
+  let specs =
+    Service.plan ~seeds:2 ~stms:[ "tinystm-wb"; "tl2" ]
+      ~sheds:[ Service.No_shed; Service.Serialize_hot ]
+      base
+  in
+  check_int "plan size" 8 (Array.length specs);
+  let plan = Array.map (fun s -> Job.Serve_run s) specs in
+  let a = Plan.execute ~jobs:1 plan in
+  let b = Plan.execute ~jobs:4 plan in
+  check_bool "no failures at jobs=1" true (a.Plan.failures = []);
+  check_bool "no failures at jobs=4" true (b.Plan.failures = []);
+  check_string "byte-identical outcomes across --jobs" (fingerprint a)
+    (fingerprint b)
+
+(* ------------------------------------------------------------------ *)
+(* Record+san stress sweep with the zero-drift drain check             *)
+(* ------------------------------------------------------------------ *)
+
+let test_serve_stress_sweep () =
+  let base =
+    {
+      Service.default with
+      Service.horizon = 0.0005;
+      record = true;
+      san = true;
+      watchdog = true;
+    }
+  in
+  let specs =
+    Service.plan ~seeds:2 ~stms:Scenario.all_stms
+      ~sheds:[ Service.Deadline_aware; Service.Serialize_hot ]
+      base
+  in
+  Array.iter
+    (fun spec ->
+      let r = Service.run_one spec in
+      let label =
+        Printf.sprintf "%s/%s/seed=%d" spec.Service.stm
+          (Service.shed_to_string spec.Service.shed)
+          spec.Service.seed
+      in
+      check_bool (label ^ ": linearizable") true (r.Service.violations = []);
+      check_bool (label ^ ": san-clean") true (r.Service.san_findings = []);
+      check_int (label ^ ": zero live-word drift") 0 r.Service.leak_words;
+      let s = r.Service.slo in
+      check_int
+        (label ^ ": admitted = committed + missed + exhausted")
+        s.Slo.admitted
+        (s.Slo.committed + s.Slo.deadline_missed + s.Slo.budget_exhausted);
+      check_int
+        (label ^ ": requests = shed + admitted")
+        s.Slo.requests
+        (s.Slo.shed + s.Slo.admitted))
+    specs
+
+(* ------------------------------------------------------------------ *)
+(* Vacation backend: multi-tenant consistency + drain                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_vacation_backend () =
+  let r =
+    Service.run_one
+      {
+        Service.default with
+        Service.backend = Service.Vacation;
+        horizon = 0.0005;
+        san = true;
+      }
+  in
+  check_bool "tenants consistent" true (r.Service.violations = []);
+  check_bool "san-clean" true (r.Service.san_findings = []);
+  check_int "reservations drain to the populated baseline" 0
+    r.Service.leak_words;
+  check_bool "it actually served" true (r.Service.slo.Slo.committed > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Per-period SLO table                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_per_period_metrics () =
+  let r =
+    Service.run_one { Service.default with Service.horizon = 0.0005 }
+  in
+  let m = Service.per_period_metrics ~periods:4 r in
+  let csv = Tstm_obs.Metrics.to_csv m in
+  check_bool "has the Slo columns" true (contains ~sub:"budget_exhausted" csv);
+  (* 4 period rows + header. *)
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_int "one row per period" 5 (List.length lines);
+  (* The completion log covers every request (shed included). *)
+  let s = r.Service.slo in
+  check_int "the log covers every verdict" s.Slo.requests
+    (Array.length r.Service.log)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "arrival",
+        [
+          Alcotest.test_case "parse roundtrip" `Quick test_arrival_parse_roundtrip;
+          Alcotest.test_case "parse negative" `Quick test_arrival_parse_negative;
+          Alcotest.test_case "times" `Quick test_arrival_times;
+          Alcotest.test_case "rates" `Quick test_arrival_rates;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "pattern negative" `Quick test_pattern_parse_negative;
+          Alcotest.test_case "pattern positive" `Quick test_pattern_parse_positive;
+          Alcotest.test_case "watchdog defaults" `Quick test_watchdog_defaults;
+          Alcotest.test_case "repro thresholds" `Quick
+            test_repro_commands_render_thresholds;
+          Alcotest.test_case "spec validation" `Quick test_spec_validation;
+        ] );
+      ( "overload",
+        List.map
+          (fun stm -> Alcotest.test_case stm `Slow (overload_demo stm))
+          Scenario.all_stms );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs 1 vs 4" `Slow test_serve_plan_deterministic;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "record+san sweep" `Slow test_serve_stress_sweep;
+          Alcotest.test_case "vacation backend" `Slow test_vacation_backend;
+          Alcotest.test_case "per-period metrics" `Quick test_per_period_metrics;
+        ] );
+    ]
