@@ -1,111 +1,105 @@
-(* Repo lint: source hygiene rules the type checker cannot express.
+(* Thin cmdliner driver over Tstm_lint (see lib/lint).
 
-   Rules (scopes in brackets):
-   - no unsafe casts through the [Obj] module [everywhere];
-   - no [Stdlib.Random] — determinism lives in [lib/util/xrand.ml], the
-     seeded SplitMix64 stream; everything else must thread an [Xrand.t]
-     [lib, bin];
-   - no naked [Printf.printf] inside [lib] — libraries report through the
-     obs exporters or return data, only binaries and tests print [lib];
-   - every [.ml] in [lib] has an [.mli], except interface-only modules
-     ([*_intf.ml]) and the explicit allowlist [lib].
+   Usage:
+     lint [DIR|FILE]...                 repo pass (default: lib bin test)
+     lint --format=github lib bin test  CI annotations
+     lint --format=json ...             machine-readable findings
+     lint --teeth test/lint_fixtures    fixture corpus: every finding must
+                                        match a `lint: expect` directive
+     lint --rules                       list the shipped rules
 
-   Patterns are assembled by concatenation so this file does not flag
-   itself.  Usage: [lint.exe DIR...]; directory names are the scopes. *)
+   Exit status: 0 clean, 1 findings (or teeth mismatches). *)
 
-let failures = ref 0
+open Tstm_lint
 
-let fail path line msg =
-  incr failures;
-  Printf.printf "%s:%d: %s\n" path line msg
+type format = Human | Github | Json
 
-let contains ~sub s =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  m > 0 && go 0
+let run_lint format roots =
+  let roots = if roots = [] then [ "lib"; "bin"; "test" ] else roots in
+  let { Engine.findings; files_checked } = Engine.run ~roots () in
+  let rules = List.length Rules.all in
+  (match format with
+  | Human -> print_string (Report.human ~files_checked ~rules findings)
+  | Github ->
+      print_string (Report.github findings);
+      print_string (Report.human ~files_checked ~rules findings)
+  | Json -> print_string (Report.json ~files_checked findings));
+  if List.exists Finding.is_error findings then 1 else 0
 
-let no_mli_allowlist = [ "intset_list.ml" ]
+let run_teeth roots =
+  let roots = if roots = [] then [ "test/lint_fixtures" ] else roots in
+  let { Engine.mismatches; expectations } = Engine.teeth ~roots () in
+  match mismatches with
+  | [] ->
+      Printf.printf "lint --teeth: OK (%d expectations all fired at their \
+                     declared lines)\n"
+        expectations;
+      0
+  | ms ->
+      List.iter print_endline ms;
+      Printf.printf "lint --teeth: %d mismatch%s\n" (List.length ms)
+        (if List.length ms = 1 then "" else "es");
+      1
 
-let pat_magic = "Obj." ^ "magic"
-let pat_random_qualified = "Stdlib." ^ "Random."
-let pat_random = "Random" ^ "."
-let pat_printf = "Printf" ^ ".printf"
+let run_rules () =
+  print_string (Report.rule_table Rules.all);
+  0
 
-let read_lines path =
-  let ic = open_in path in
-  let rec go acc =
-    match input_line ic with
-    | line -> go (line :: acc)
-    | exception End_of_file ->
-        close_in ic;
-        List.rev acc
+let main list_rules teeth format roots =
+  if list_rules then run_rules ()
+  else if teeth then run_teeth roots
+  else run_lint format roots
+
+open Cmdliner
+
+let format =
+  let fmt_conv =
+    Arg.enum [ ("human", Human); ("github", Github); ("json", Json) ]
   in
-  go []
+  Arg.(
+    value
+    & opt fmt_conv Human
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:
+          "Report format: $(b,human), $(b,github) (GitHub Actions \
+           annotations) or $(b,json).")
 
-let check_file ~scope path =
-  let lines = read_lines path in
-  List.iteri
-    (fun i line ->
-      let ln = i + 1 in
-      if contains ~sub:pat_magic line then
-        fail path ln (pat_magic ^ " is forbidden");
-      if
-        (scope = "lib" || scope = "bin")
-        && Filename.basename path <> "xrand.ml"
-        && (contains ~sub:pat_random_qualified line
-           || contains ~sub:(" " ^ pat_random) line
-           || contains ~sub:("(" ^ pat_random) line
-           || String.length line >= String.length pat_random
-              && String.sub line 0 (String.length pat_random) = pat_random)
-      then
-        fail path ln
-          ("Stdlib Random breaks deterministic replay; use Xrand "
-         ^ "(lib/util/xrand.ml)");
-      if
-        scope = "lib"
-        && contains ~sub:pat_printf line
-      then
-        fail path ln
-          (pat_printf ^ " inside lib/; report through obs or return data"))
-    lines
+let teeth =
+  Arg.(
+    value & flag
+    & info [ "teeth" ]
+        ~doc:
+          "Fixture-corpus mode: walk the given roots (default \
+           test/lint_fixtures) and require every finding to be announced \
+           by a $(b,lint: expect) directive on its exact line, and every \
+           expectation to fire.")
 
-let check_mli path =
-  let base = Filename.basename path in
-  let is_intf =
-    String.length base > 8
-    && String.sub base (String.length base - 8) 8 = "_intf.ml"
+let list_rules =
+  Arg.(value & flag & info [ "rules" ] ~doc:"List the shipped rules and exit.")
+
+let roots =
+  Arg.(value & pos_all string [] & info [] ~docv:"DIR"
+         ~doc:"Roots to lint (default: lib bin test).")
+
+let cmd =
+  let doc = "AST-driven STM-discipline lint for this repository" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Static analysis over real OCaml parsetrees (compiler-libs): \
+         hygiene and determinism rules plus STM-protocol rules \
+         (orec acquire/release pairing, tap pairing, cycle-charge \
+         reachability, the library layering DAG).  See DESIGN.md \
+         section 4h.";
+      `P
+        "Suppress a finding with an explained allow comment: \
+         (* lint: allow <rule-id> — <reason> *).  Unknown rule ids and \
+         stale suppressions are themselves findings.";
+    ]
   in
-  if
-    (not is_intf)
-    && (not (List.mem base no_mli_allowlist))
-    && not (Sys.file_exists (path ^ "i"))
-  then fail path 1 "missing .mli (interface-only *_intf.ml modules exempt)"
+  Cmd.v
+    (Cmd.info "lint" ~doc ~man)
+    Term.(const main $ list_rules $ teeth $ format $ roots)
 
-let rec walk ~scope dir =
-  let entries = Sys.readdir dir in
-  Array.sort compare entries;
-  Array.iter
-    (fun e ->
-      let path = Filename.concat dir e in
-      if Sys.is_directory path then begin
-        if e <> "_build" && e.[0] <> '.' then walk ~scope path
-      end
-      else if Filename.check_suffix e ".ml" then begin
-        check_file ~scope path;
-        if scope = "lib" then check_mli path
-      end)
-    entries
-
-let () =
-  let roots =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as roots) -> roots
-    | _ -> [ "lib"; "bin"; "test" ]
-  in
-  List.iter (fun root -> walk ~scope:(Filename.basename root) root) roots;
-  if !failures > 0 then begin
-    Printf.printf "lint: %d failure%s\n" !failures
-      (if !failures = 1 then "" else "s");
-    exit 1
-  end;
-  print_endline "lint: OK"
+let () = exit (Cmd.eval' cmd)

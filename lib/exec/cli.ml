@@ -475,7 +475,7 @@ let git_rev () =
       match (Unix.close_process_in ic, line) with
       | Unix.WEXITED 0, Some l when l <> "" -> Some l
       | _ -> None
-    with _ -> None
+    with Unix.Unix_error _ | Sys_error _ -> None
   with
   | Some rev -> rev
   | None -> "unknown"

@@ -136,8 +136,10 @@ let map (type r) ?(jobs = 1) ?(timeout = default_timeout) ?(retries = 2)
   let finish r =
     drop r;
     let value =
+      (* A dead child leaves a truncated value: End_of_file from the
+         channel or Failure from the unmarshaller, nothing else. *)
       try Some (Marshal.from_channel r.ic : (r, string) result)
-      with _ -> None
+      with End_of_file | Failure _ -> None
     in
     close_in_noerr r.ic;
     let _, status = Unix.waitpid [] r.pid in

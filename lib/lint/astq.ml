@@ -1,0 +1,195 @@
+(* Parsetree queries shared by the rules: longident references with
+   precise locations, and an intra-module call graph of let-bound
+   functions with transitive "effect" propagation.
+
+   Everything here is an approximation chosen to be cheap and
+   predictable: a reference to a known function name counts as a call
+   edge (passing a function to an iterator is a potential call), and a
+   function's own subtree includes the bodies of functions nested inside
+   it.  Both over-approximate reachability, which is the conservative
+   direction for pairing rules. *)
+
+open Parsetree
+
+type ref_ = { r_lid : Longident.t; r_loc : Location.t }
+
+let flatten lid =
+  (* Longident.flatten raises on functor applications; those carry no
+     value reference we care about. *)
+  let rec go acc = function
+    | Longident.Lident s -> Some (s :: acc)
+    | Longident.Ldot (l, s) -> go (s :: acc) l
+    | Longident.Lapply _ -> None
+  in
+  go [] lid
+
+let suffix_matches ~pat lid =
+  match flatten lid with
+  | None -> false
+  | Some comps ->
+      let nc = List.length comps and np = List.length pat in
+      nc >= np
+      && List.filteri (fun i _ -> i >= nc - np) comps = pat
+
+let head lid =
+  match flatten lid with Some (h :: _) -> Some h | _ -> None
+
+(* --- reference collection ------------------------------------------- *)
+
+let refs_iterator push =
+  let open Ast_iterator in
+  {
+    default_iterator with
+    expr =
+      (fun it e ->
+        (match e.pexp_desc with
+        | Pexp_ident { txt; loc } -> push { r_lid = txt; r_loc = loc }
+        | Pexp_construct ({ txt; loc }, _) -> push { r_lid = txt; r_loc = loc }
+        | Pexp_field (_, { txt; loc }) | Pexp_setfield (_, { txt; loc }, _) ->
+            push { r_lid = txt; r_loc = loc }
+        | Pexp_open (od, _) -> (
+            match od.popen_expr.pmod_desc with
+            | Pmod_ident { txt; loc } -> push { r_lid = txt; r_loc = loc }
+            | _ -> ())
+        | _ -> ());
+        default_iterator.expr it e);
+    typ =
+      (fun it t ->
+        (match t.ptyp_desc with
+        | Ptyp_constr ({ txt; loc }, _) | Ptyp_class ({ txt; loc }, _) ->
+            push { r_lid = txt; r_loc = loc }
+        | _ -> ());
+        default_iterator.typ it t);
+    pat =
+      (fun it p ->
+        (match p.ppat_desc with
+        | Ppat_construct ({ txt; loc }, _) -> push { r_lid = txt; r_loc = loc }
+        | _ -> ());
+        default_iterator.pat it p);
+    module_expr =
+      (fun it m ->
+        (match m.pmod_desc with
+        | Pmod_ident { txt; loc } -> push { r_lid = txt; r_loc = loc }
+        | _ -> ());
+        default_iterator.module_expr it m);
+    module_type =
+      (fun it m ->
+        (match m.pmty_desc with
+        | Pmty_ident { txt; loc } -> push { r_lid = txt; r_loc = loc }
+        | _ -> ());
+        default_iterator.module_type it m);
+    open_description =
+      (fun it od ->
+        push { r_lid = od.popen_expr.txt; r_loc = od.popen_expr.loc };
+        default_iterator.open_description it od);
+  }
+
+let structure_refs str =
+  let acc = ref [] in
+  let it = refs_iterator (fun r -> acc := r :: !acc) in
+  it.structure it str;
+  List.rev !acc
+
+let signature_refs sg =
+  let acc = ref [] in
+  let it = refs_iterator (fun r -> acc := r :: !acc) in
+  it.signature it sg;
+  List.rev !acc
+
+let expr_refs e =
+  let acc = ref [] in
+  let it = refs_iterator (fun r -> acc := r :: !acc) in
+  it.expr it e;
+  List.rev !acc
+
+(* --- functions and the call graph ----------------------------------- *)
+
+type fn = { fn_name : string; fn_loc : Location.t; fn_refs : ref_ list }
+
+let functions str =
+  let acc = ref [] in
+  let it =
+    let open Ast_iterator in
+    {
+      default_iterator with
+      value_binding =
+        (fun it vb ->
+          (match vb.pvb_pat.ppat_desc with
+          | Ppat_var { txt; _ } ->
+              acc :=
+                {
+                  fn_name = txt;
+                  fn_loc = vb.pvb_loc;
+                  fn_refs = expr_refs vb.pvb_expr;
+                }
+                :: !acc
+          | _ -> ());
+          default_iterator.value_binding it vb);
+    }
+  in
+  it.structure it str;
+  List.rev !acc
+
+type 'a effects = {
+  fns : fn list;
+  eff : (string, 'a list) Hashtbl.t;  (** transitive, after closure *)
+  roots : fn list;  (** functions no other function references *)
+}
+
+let transitive_effects ~direct str =
+  let fns = functions str in
+  let names = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace names f.fn_name ()) fns;
+  (* Direct effects and call edges per function name (merging shadowed
+     names: the union is the conservative choice). *)
+  let eff = Hashtbl.create 64 in
+  let edges = Hashtbl.create 64 in
+  let referenced = Hashtbl.create 64 in
+  let add tbl k v =
+    let cur = Option.value (Hashtbl.find_opt tbl k) ~default:[] in
+    if not (List.mem v cur) then Hashtbl.replace tbl k (v :: cur)
+  in
+  List.iter
+    (fun f ->
+      if not (Hashtbl.mem eff f.fn_name) then Hashtbl.replace eff f.fn_name [];
+      List.iter
+        (fun r ->
+          List.iter (fun e -> add eff f.fn_name e) (direct r);
+          match r.r_lid with
+          | Longident.Lident callee when Hashtbl.mem names callee ->
+              if callee <> f.fn_name then begin
+                add edges f.fn_name callee;
+                Hashtbl.replace referenced callee ()
+              end
+          | _ -> ())
+        f.fn_refs)
+    fns;
+  (* Fixpoint: propagate callee effects to callers. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun caller callees ->
+        let cur = Option.value (Hashtbl.find_opt eff caller) ~default:[] in
+        let extended =
+          List.fold_left
+            (fun cur callee ->
+              List.fold_left
+                (fun cur e -> if List.mem e cur then cur else e :: cur)
+                cur
+                (Option.value (Hashtbl.find_opt eff callee) ~default:[]))
+            cur callees
+        in
+        if List.length extended <> List.length cur then begin
+          Hashtbl.replace eff caller extended;
+          changed := true
+        end)
+      edges
+  done;
+  let roots =
+    List.filter (fun f -> not (Hashtbl.mem referenced f.fn_name)) fns
+  in
+  { fns; eff; roots }
+
+let effects_of { eff; _ } name =
+  Option.value (Hashtbl.find_opt eff name) ~default:[]

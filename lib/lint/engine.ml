@@ -1,0 +1,278 @@
+(* The analysis driver: walk the tree, parse every OCaml file once with
+   compiler-libs, run the per-file and whole-repo rule passes, then
+   apply the suppression discipline (unknown and stale suppressions are
+   themselves findings, so allow-comments cannot rot). *)
+
+let fixture_dir_name = "lint_fixtures"
+
+(* --- loading --------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_error_finding ~path (loc : Location.t) =
+  let line = max 1 loc.loc_start.pos_lnum in
+  let col = max 0 (loc.loc_start.pos_cnum - loc.loc_start.pos_bol) in
+  Finding.v ~rule:"parse-error" ~severity:Finding.Error ~path ~line ~col
+    "compiler-libs could not parse this file"
+
+let with_lexbuf ~path text f =
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf path;
+  match f lexbuf with
+  | v -> Ok v
+  | exception Syntaxerr.Error e -> Error (Syntaxerr.location_of_error e)
+  | exception Lexer.Error (_, loc) -> Error loc
+
+type loaded = { file : Rule.file; parse_findings : Finding.t list }
+
+let load_ml ~path text =
+  let comments = Scan.comments text in
+  match with_lexbuf ~path text Parse.implementation with
+  | Ok str ->
+      {
+        file =
+          { Rule.path; kind = Rule.Ml; text; str = Some str; intf = None; comments };
+        parse_findings = [];
+      }
+  | Error loc ->
+      {
+        file = { Rule.path; kind = Rule.Ml; text; str = None; intf = None; comments };
+        parse_findings = [ parse_error_finding ~path loc ];
+      }
+
+let load_mli ~path text =
+  let comments = Scan.comments text in
+  match with_lexbuf ~path text Parse.interface with
+  | Ok intf ->
+      {
+        file =
+          { Rule.path; kind = Rule.Mli; text; str = None; intf = Some intf; comments };
+        parse_findings = [];
+      }
+  | Error loc ->
+      {
+        file = { Rule.path; kind = Rule.Mli; text; str = None; intf = None; comments };
+        parse_findings = [ parse_error_finding ~path loc ];
+      }
+
+let load path =
+  let text = read_file path in
+  let base = Filename.basename path in
+  if base = "dune" then
+    Some
+      {
+        file =
+          { Rule.path; kind = Rule.Dune; text; str = None; intf = None; comments = [] };
+        parse_findings = [];
+      }
+  else if Filename.check_suffix base ".mli" then Some (load_mli ~path text)
+  else if Filename.check_suffix base ".ml" then Some (load_ml ~path text)
+  else None
+
+let rec walk acc path =
+  if Sys.is_directory path then begin
+    let entries = Sys.readdir path in
+    Array.sort compare entries;
+    Array.fold_left
+      (fun acc e ->
+        let child = Filename.concat path e in
+        if Sys.is_directory child then
+          if e = "_build" || e = fixture_dir_name || (e <> "" && e.[0] = '.')
+          then acc
+          else walk acc child
+        else match load child with Some l -> l :: acc | None -> acc)
+      acc entries
+  end
+  else match load path with Some l -> l :: acc | None -> acc
+
+(* Roots themselves are always entered, so `lint test/lint_fixtures`
+   works while `lint test` skips the corpus. *)
+let load_roots roots = List.rev (List.fold_left walk [] roots)
+
+(* --- suppressions ---------------------------------------------------- *)
+
+let file_directives (f : Rule.file) =
+  match f.kind with
+  | Rule.Dune -> Scan.dune_directives f.text
+  | Rule.Ml | Rule.Mli -> Scan.directives f.comments
+
+type allow = { a_line : int; a_id : string; mutable a_used : bool }
+
+(* Apply the suppression discipline to one file's findings.  Returns the
+   surviving findings plus the meta findings the directives themselves
+   produce. *)
+let apply_suppressions ~path ~directives findings =
+  let allows = ref [] in
+  let meta = ref [] in
+  let push_meta ~line msg =
+    meta :=
+      Finding.v ~rule:"suppression-unknown" ~severity:Finding.Error ~path ~line
+        msg
+      :: !meta
+  in
+  List.iter
+    (fun (d : Scan.directive) ->
+      match d with
+      | Scan.Allow { line; id; reason = _ } ->
+          if List.mem id Rules.meta_ids then
+            push_meta ~line
+              (Printf.sprintf "rule `%s` cannot be suppressed" id)
+          else if not (List.mem id Rules.known_ids) then
+            push_meta ~line
+              (Printf.sprintf
+                 "unknown rule id `%s` in suppression (known: %s)" id
+                 (String.concat ", " Rules.ids))
+          else allows := { a_line = line; a_id = id; a_used = false } :: !allows
+      | Scan.Expect _ -> ()
+      | Scan.Malformed { line; text } ->
+          push_meta ~line
+            (Printf.sprintf
+               "malformed lint directive `%s` (expected `lint: allow \
+                <rule-id> — <reason>`)"
+               text))
+    directives;
+  let allows = List.rev !allows in
+  let kept =
+    List.filter
+      (fun (f : Finding.t) ->
+        if List.mem f.rule Rules.meta_ids then true
+        else
+          match
+            List.find_opt
+              (fun a ->
+                a.a_id = f.rule && (f.line = a.a_line || f.line = a.a_line + 1))
+              allows
+          with
+          | Some a ->
+              a.a_used <- true;
+              false
+          | None -> true)
+      findings
+  in
+  let stale =
+    List.filter_map
+      (fun a ->
+        if a.a_used then None
+        else
+          Some
+            (Finding.v ~rule:"suppression-stale" ~severity:Finding.Error ~path
+               ~line:a.a_line
+               (Printf.sprintf
+                  "suppression of `%s` masks no finding; delete it" a.a_id)))
+      allows
+  in
+  kept @ List.rev !meta @ stale
+
+(* --- running --------------------------------------------------------- *)
+
+type result = { findings : Finding.t list; files_checked : int }
+
+let raw_findings ~rules loaded =
+  let files = List.map (fun l -> l.file) loaded in
+  let per_file =
+    List.concat_map
+      (fun (r : Rule.t) ->
+        match r.check with
+        | Rule.File_pass check ->
+            List.concat_map
+              (fun (f : Rule.file) -> if r.scope f.path then check f else [])
+              files
+        | Rule.Repo_pass check -> check files)
+      rules
+  in
+  let parse = List.concat_map (fun l -> l.parse_findings) loaded in
+  parse @ per_file
+
+let finish ~loaded findings =
+  (* Suppressions are per-file: group findings by path, then fold each
+     file's directives over them. *)
+  let by_path = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Finding.t) ->
+      let cur = Option.value (Hashtbl.find_opt by_path f.path) ~default:[] in
+      Hashtbl.replace by_path f.path (f :: cur))
+    findings;
+  let out =
+    List.concat_map
+      (fun l ->
+        let path = l.file.Rule.path in
+        let fs =
+          List.rev (Option.value (Hashtbl.find_opt by_path path) ~default:[])
+        in
+        Hashtbl.remove by_path path;
+        apply_suppressions ~path ~directives:(file_directives l.file) fs)
+      loaded
+  in
+  (* Findings anchored in files we did not load (there should be none,
+     but never drop a finding silently). *)
+  let rest = Hashtbl.fold (fun _ fs acc -> fs @ acc) by_path [] in
+  List.sort_uniq Finding.compare (out @ rest)
+
+let run ?(rules = Rules.all) ~roots () =
+  let loaded = load_roots roots in
+  {
+    findings = finish ~loaded (raw_findings ~rules loaded);
+    files_checked = List.length loaded;
+  }
+
+(* In-memory single-file check (unit tests; per-file rules only). *)
+let check_source ?(rules = Rules.all) ~path ~text () =
+  let l =
+    if Filename.check_suffix path ".mli" then load_mli ~path text
+    else load_ml ~path text
+  in
+  let file_rules =
+    List.filter (fun (r : Rule.t) ->
+        match r.check with Rule.File_pass _ -> true | Rule.Repo_pass _ -> false)
+      rules
+  in
+  finish ~loaded:[ l ] (raw_findings ~rules:file_rules [ l ])
+
+(* --- teeth (fixture corpora) ----------------------------------------- *)
+
+type teeth = { mismatches : string list; expectations : int }
+
+let teeth ?(rules = Rules.all) ~roots () =
+  let loaded = load_roots roots in
+  let findings = finish ~loaded (raw_findings ~rules loaded) in
+  let expected = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun (d : Scan.directive) ->
+          match d with
+          | Scan.Expect { line; id } ->
+              Hashtbl.replace expected (l.file.Rule.path, line, id) false
+          | _ -> ())
+        (file_directives l.file))
+    loaded;
+  let unexpected =
+    List.filter_map
+      (fun (f : Finding.t) ->
+        let key = (f.path, f.line, f.rule) in
+        if Hashtbl.mem expected key then begin
+          Hashtbl.replace expected key true;
+          None
+        end
+        else
+          Some
+            (Printf.sprintf "unexpected: %s:%d [%s] %s" f.path f.line f.rule
+               f.message))
+      findings
+  in
+  let missing =
+    Hashtbl.fold
+      (fun (path, line, id) hit acc ->
+        if hit then acc
+        else Printf.sprintf "missing: %s:%d [%s] did not fire" path line id :: acc)
+      expected []
+  in
+  {
+    mismatches = unexpected @ List.sort compare missing;
+    expectations = Hashtbl.length expected;
+  }

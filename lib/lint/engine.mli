@@ -1,0 +1,33 @@
+(** The analysis driver.
+
+    [run] walks the given roots (skipping [_build], dot-directories and
+    [lint_fixtures] corpora — unless a corpus is itself a root), parses
+    every [.ml]/[.mli] with compiler-libs, loads [dune] files for the
+    repo passes, runs the rules, and applies the suppression
+    discipline:
+
+    - [(* lint: allow <rule-id> — <reason> *)] masks findings of that
+      rule on the same or the next line;
+    - an unknown/misspelled rule-id, a missing reason, or an attempt to
+      suppress a meta rule is a [suppression-unknown] finding;
+    - a suppression that masks nothing is a [suppression-stale] finding;
+    - a file compiler-libs cannot parse is a [parse-error] finding. *)
+
+type result = { findings : Finding.t list; files_checked : int }
+
+val run : ?rules:Rule.t list -> roots:string list -> unit -> result
+(** Findings are sorted and deduplicated; empty means a clean pass. *)
+
+val check_source :
+  ?rules:Rule.t list -> path:string -> text:string -> unit -> Finding.t list
+(** In-memory single-file check: per-file rules plus the suppression
+    machinery, no repo passes.  [path] is not read — it only drives rule
+    scoping ([.mli] paths are parsed as interfaces). *)
+
+type teeth = { mismatches : string list; expectations : int }
+
+val teeth : ?rules:Rule.t list -> roots:string list -> unit -> teeth
+(** Fixture-corpus mode: every finding must be announced by a
+    [(* lint: expect <rule-id> *)] directive on its exact line, and
+    every expectation must fire.  [mismatches] lists both directions;
+    empty means the corpus bites exactly as declared. *)

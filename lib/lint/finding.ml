@@ -1,0 +1,38 @@
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  path : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let severity_string = function Error -> "error" | Warning -> "warning"
+
+let v ~rule ~severity ~path ~line ?(col = 0) message =
+  { rule; severity; path; line; col; message }
+
+let of_location ~rule ~severity (loc : Location.t) message =
+  let p = loc.loc_start in
+  {
+    rule;
+    severity;
+    path = p.pos_fname;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    message;
+  }
+
+let compare a b =
+  let c = String.compare a.path b.path in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let is_error f = f.severity = Error

@@ -1,0 +1,34 @@
+(** One lint finding: a rule violation anchored at a precise source
+    position.  Columns are 0-based (the compiler's convention); lines are
+    1-based. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (** rule id, e.g. ["stdlib-random"] *)
+  severity : severity;
+  path : string;  (** path as given to the engine, '/'-separated *)
+  line : int;
+  col : int;
+  message : string;
+}
+
+val severity_string : severity -> string
+
+val v :
+  rule:string ->
+  severity:severity ->
+  path:string ->
+  line:int ->
+  ?col:int ->
+  string ->
+  t
+
+val of_location : rule:string -> severity:severity -> Location.t -> string -> t
+(** Anchor a finding at the start of a compiler-libs location. *)
+
+val compare : t -> t -> int
+(** Path, then line, then column, then rule id — the deterministic report
+    order. *)
+
+val is_error : t -> bool

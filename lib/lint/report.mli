@@ -1,0 +1,13 @@
+(** Pure report renderers (findings in, string out; the binary prints).
+
+    Three formats: [human] (path:line:col lines plus a summary),
+    [github] (GitHub Actions [::error] workflow commands, rendered as
+    inline PR annotations), and [json] (machine-readable,
+    ["tstm-lint/1"] schema). *)
+
+val human : files_checked:int -> rules:int -> Finding.t list -> string
+val github : Finding.t list -> string
+val json : files_checked:int -> Finding.t list -> string
+
+val rule_table : Rule.t list -> string
+(** Rule listing for [lint --rules]. *)

@@ -1,0 +1,53 @@
+type kind = Ml | Mli | Dune
+
+type file = {
+  path : string;
+  kind : kind;
+  text : string;
+  str : Parsetree.structure option;
+  intf : Parsetree.signature option;
+  comments : Scan.comment list;
+}
+
+type check =
+  | File_pass of (file -> Finding.t list)
+  | Repo_pass of (file list -> Finding.t list)
+
+type t = {
+  id : string;
+  severity : Finding.severity;
+  scope_doc : string;
+  scope : string -> bool;
+  doc : string;
+  check : check;
+}
+
+(* --- path scoping helpers ------------------------------------------- *)
+
+let segments path = String.split_on_char '/' path
+
+(* [under ~dir path]: [path] has a segment equal to [dir].  Fixture
+   corpora mirror the repo layout (test/lint_fixtures/lib/...), so
+   segment tests make the same rule fire on real code and on its
+   fixtures. *)
+let under ~dir path = List.mem dir (segments path)
+
+(* [under2 ~a ~b path]: segment [a] immediately followed by [b]. *)
+let under2 ~a ~b path =
+  let rec go = function
+    | x :: (y :: _ as rest) -> (x = a && y = b) || go rest
+    | _ -> false
+  in
+  go (segments path)
+
+let in_lib path = under ~dir:"lib" path
+let in_bin path = under ~dir:"bin" path
+
+let basename path =
+  match List.rev (segments path) with b :: _ -> b | [] -> path
+
+let finding rule (loc : Location.t) message =
+  Finding.of_location ~rule:rule.id ~severity:rule.severity loc message
+
+let mk ~id ~severity ~scope_doc ~scope ~doc check =
+  { id; severity; scope_doc; scope; doc; check }

@@ -1,0 +1,57 @@
+(** The typed rule API.
+
+    A rule has an id (kebab-case, the name used in suppression
+    comments), a severity, a human-readable scope description plus the
+    path predicate that implements it, one line of doc, and a check: a
+    per-file pass (most rules) or a whole-repo pass (rules that need to
+    see every file at once, like the layering DAG).
+
+    Scope predicates are segment tests on the '/'-separated path, so a
+    fixture corpus that mirrors the repo layout
+    ([test/lint_fixtures/lib/tinystm/...]) exercises exactly the same
+    scoping as the real tree. *)
+
+type kind = Ml | Mli | Dune
+
+type file = {
+  path : string;
+  kind : kind;
+  text : string;
+  str : Parsetree.structure option;  (** parsetree, for [Ml] files *)
+  intf : Parsetree.signature option;  (** parsetree, for [Mli] files *)
+  comments : Scan.comment list;
+}
+
+type check =
+  | File_pass of (file -> Finding.t list)
+  | Repo_pass of (file list -> Finding.t list)
+      (** receives every file the engine loaded, in walk order; the rule
+          filters by its own scope *)
+
+type t = {
+  id : string;
+  severity : Finding.severity;
+  scope_doc : string;
+  scope : string -> bool;  (** engine applies this to [File_pass] rules *)
+  doc : string;
+  check : check;
+}
+
+val segments : string -> string list
+val under : dir:string -> string -> bool
+val under2 : a:string -> b:string -> string -> bool
+val in_lib : string -> bool
+val in_bin : string -> bool
+val basename : string -> string
+
+val finding : t -> Location.t -> string -> Finding.t
+(** A finding for this rule anchored at a location. *)
+
+val mk :
+  id:string ->
+  severity:Finding.severity ->
+  scope_doc:string ->
+  scope:(string -> bool) ->
+  doc:string ->
+  check ->
+  t

@@ -1,0 +1,10 @@
+let all = Rules_hygiene.rules @ Rules_stm.rules
+
+let ids = List.map (fun (r : Rule.t) -> r.id) all
+
+(* Meta rule ids the suppression machinery itself can emit; they exist
+   so fixtures can `lint: expect` them and reports can title them, but
+   they cannot be suppressed. *)
+let meta_ids = [ "suppression-unknown"; "suppression-stale"; "parse-error" ]
+
+let known_ids = ids @ meta_ids

@@ -1,0 +1,11 @@
+(** The rule registry: every shipped rule, in report order. *)
+
+val all : Rule.t list
+val ids : string list
+
+val meta_ids : string list
+(** Findings the engine itself can emit ([suppression-unknown],
+    [suppression-stale], [parse-error]); valid in [lint: expect]
+    directives but never suppressible. *)
+
+val known_ids : string list

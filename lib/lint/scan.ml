@@ -1,0 +1,204 @@
+(* A small lexical scanner over OCaml source text.  Its only job is to
+   find comments with their positions so the engine can read lint
+   directives out of them; everything code-shaped is handled by the real
+   parser (compiler-libs), which is what makes the rules blind to
+   comments and string literals by construction.
+
+   The scanner understands what the OCaml lexer understands about
+   nesting: comments nest, string literals inside comments must be
+   balanced (["*)"] inside a quoted string does not close the comment),
+   quoted strings [{id|...|id}] are opaque, and [' '] char literals are
+   distinguished from type variables ['a]. *)
+
+type comment = { c_line : int; c_col : int; c_text : string }
+
+type directive =
+  | Allow of { line : int; id : string; reason : string }
+  | Expect of { line : int; id : string }
+  | Malformed of { line : int; text : string }
+
+let comments src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let bol = ref 0 in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let newline () =
+    incr line;
+    bol := !i + 1
+  in
+  let advance () =
+    if src.[!i] = '\n' then newline ();
+    incr i
+  in
+  (* Consume a string literal body starting after the opening quote. *)
+  let rec skip_string () =
+    if !i < n then
+      match src.[!i] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          if !i < n then advance ();
+          skip_string ()
+      | _ ->
+          advance ();
+          skip_string ()
+  in
+  (* Quoted string {id|...|id}: [delim] is the raw "id" between { and |. *)
+  let skip_quoted delim =
+    let close = "|" ^ delim ^ "}" in
+    let m = String.length close in
+    let rec go () =
+      if !i < n then
+        if !i + m <= n && String.sub src !i m = close then
+          for _ = 1 to m do
+            advance ()
+          done
+        else begin
+          advance ();
+          go ()
+        end
+    in
+    go ()
+  in
+  let quoted_delim_at k =
+    (* At src.[k] = '{': returns Some delim if this opens a quoted
+       string (brace, lowercase id, pipe). *)
+    let rec go j =
+      if j >= n then None
+      else
+        match src.[j] with
+        | 'a' .. 'z' | '_' -> go (j + 1)
+        | '|' -> Some (String.sub src (k + 1) (j - k - 1))
+        | _ -> None
+    in
+    go (k + 1)
+  in
+  let rec skip_comment depth start_line start_col buf_start =
+    if !i >= n then ()
+    else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+      advance ();
+      advance ();
+      if depth = 1 then
+        out :=
+          {
+            c_line = start_line;
+            c_col = start_col;
+            c_text = String.sub src buf_start (!i - 2 - buf_start);
+          }
+          :: !out
+      else skip_comment (depth - 1) start_line start_col buf_start
+    end
+    else if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+      advance ();
+      advance ();
+      skip_comment (depth + 1) start_line start_col buf_start
+    end
+    else if src.[!i] = '"' then begin
+      advance ();
+      skip_string ();
+      skip_comment depth start_line start_col buf_start
+    end
+    else begin
+      advance ();
+      skip_comment depth start_line start_col buf_start
+    end
+  in
+  while !i < n do
+    match src.[!i] with
+    | '(' when peek 1 = Some '*' ->
+        let l = !line and c = !i - !bol in
+        advance ();
+        advance ();
+        skip_comment 1 l c !i
+    | '"' ->
+        advance ();
+        skip_string ()
+    | '{' -> (
+        match quoted_delim_at !i with
+        | Some delim ->
+            for _ = 0 to String.length delim + 1 do
+              advance ()
+            done;
+            skip_quoted delim
+        | None -> advance ())
+    | '\'' ->
+        (* Char literal ['x'] or ['\n'], versus type variable ['a]. *)
+        if peek 1 = Some '\\' then begin
+          advance ();
+          advance ();
+          (* escaped char: skip to closing quote *)
+          while !i < n && src.[!i] <> '\'' do
+            advance ()
+          done;
+          if !i < n then advance ()
+        end
+        else if peek 2 = Some '\'' then begin
+          advance ();
+          advance ();
+          advance ()
+        end
+        else advance ()
+    | _ -> advance ()
+  done;
+  List.rev !out
+
+(* --- directives ------------------------------------------------------ *)
+
+let is_id_char = function
+  | 'a' .. 'z' | '0' .. '9' | '-' -> true
+  | _ -> false
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.filter (fun w -> w <> "")
+
+let parse_directive ~line text =
+  let t = String.trim text in
+  let prefix = "lint:" in
+  if
+    String.length t < String.length prefix
+    || String.sub t 0 (String.length prefix) <> prefix
+  then None
+  else
+    let rest =
+      String.trim (String.sub t 5 (String.length t - 5))
+    in
+    match split_words rest with
+    | "allow" :: id :: reason when String.for_all is_id_char id && id <> "" ->
+        (* A reason is mandatory: an unexplained suppression is itself a
+           finding.  Accept any separator ("—", "--", ":") or none. *)
+        let reason =
+          match reason with
+          | sep :: more when sep = "\xe2\x80\x94" || sep = "--" || sep = ":" ->
+              String.concat " " more
+          | words -> String.concat " " words
+        in
+        if reason = "" then Some (Malformed { line; text = t })
+        else Some (Allow { line; id; reason })
+    | "expect" :: id :: _ when String.for_all is_id_char id && id <> "" ->
+        Some (Expect { line; id })
+    | _ -> Some (Malformed { line; text = t })
+
+let directives comments =
+  List.filter_map
+    (fun c -> parse_directive ~line:c.c_line c.c_text)
+    comments
+
+(* Dune files carry directives in ';' line comments. *)
+let dune_directives src =
+  let lines = String.split_on_char '\n' src in
+  List.concat
+    (List.mapi
+       (fun k l ->
+         match String.index_opt l ';' with
+         | None -> []
+         | Some p -> (
+             let text = String.sub l (p + 1) (String.length l - p - 1) in
+             match parse_directive ~line:(k + 1) text with
+             | Some d -> [ d ]
+             | None -> []))
+       lines)

@@ -1,0 +1,36 @@
+(** Lexical scanner: extracts comments (with positions) from OCaml source
+    so the engine can read lint directives out of them.  Rules themselves
+    never see comments or string literals — they work on the parsetree —
+    which is what fixes the grep-era false-positive class.
+
+    Directive syntax, inside a normal OCaml comment:
+
+    - [(* lint: allow <rule-id> — <reason> *)] suppresses findings of
+      [<rule-id>] on the same line or the next line.  The reason is
+      mandatory.
+    - [(* lint: expect <rule-id> *)] (fixture corpora only) declares that
+      the rule must fire on this exact line.
+
+    In [dune] files the same directives are read from [;] line comments. *)
+
+type comment = {
+  c_line : int;  (** 1-based line of the opening delimiter *)
+  c_col : int;  (** 0-based column of the opening delimiter *)
+  c_text : string;  (** text between the delimiters *)
+}
+
+type directive =
+  | Allow of { line : int; id : string; reason : string }
+  | Expect of { line : int; id : string }
+  | Malformed of { line : int; text : string }
+      (** a comment that starts with [lint:] but does not parse *)
+
+val comments : string -> comment list
+(** All comments in source order.  Understands nested comments, string
+    literals (inside and outside comments), quoted strings
+    [{id|...|id}] and char literals versus type variables. *)
+
+val directives : comment list -> directive list
+
+val dune_directives : string -> directive list
+(** Directives in a dune file's [;] line comments. *)

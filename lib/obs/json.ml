@@ -151,7 +151,7 @@ let parse_string_body c =
             let hex = String.sub c.s c.pos 4 in
             let code =
               try int_of_string ("0x" ^ hex)
-              with _ -> error c "bad \\u escape"
+              with Failure _ -> error c "bad \\u escape"
             in
             c.pos <- c.pos + 4;
             (* Only the control-character range this repo ever emits. *)

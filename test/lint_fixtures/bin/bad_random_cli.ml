@@ -1,0 +1,2 @@
+(* Violating fixture: stdlib-random is scoped to bin too. *)
+let () = print_int (Random.int 3) (* lint: expect stdlib-random *)

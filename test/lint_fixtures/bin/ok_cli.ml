@@ -1,0 +1,2 @@
+(* Clean fixture: binaries may print. *)
+let () = print_endline "ok"

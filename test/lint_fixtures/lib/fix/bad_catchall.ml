@@ -1,0 +1,4 @@
+(* Violating fixture: a handler that swallows every exception. *)
+let parse s =
+  try Some (int_of_string s)
+  with _ -> None (* lint: expect catch-all-handler *)

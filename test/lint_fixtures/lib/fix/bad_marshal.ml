@@ -1,0 +1,2 @@
+(* Violating fixture: Marshal outside the exec job protocol. *)
+let blob v = Marshal.to_string v [] (* lint: expect marshal-outside-exec *)

@@ -1,0 +1,1 @@
+val blob : 'a -> string

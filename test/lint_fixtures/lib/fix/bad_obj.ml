@@ -1,0 +1,2 @@
+(* Violating fixture: a cast through the Obj module. *)
+let coerce (x : int) : bool = Obj.magic x (* lint: expect obj-cast *)

@@ -1,0 +1,1 @@
+val coerce : int -> bool

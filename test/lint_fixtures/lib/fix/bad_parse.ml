@@ -1,0 +1,1 @@
+let f x = ) (* lint: expect parse-error *)

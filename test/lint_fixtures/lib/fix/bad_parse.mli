@@ -1,0 +1,1 @@
+val f : unit -> unit

@@ -1,0 +1,2 @@
+(* Violating fixture: a library module printing to stdout. *)
+let report n = Printf.printf "n=%d\n" n (* lint: expect printf-in-lib *)

@@ -1,0 +1,2 @@
+(* Violating fixture: Stdlib.Random breaks deterministic replay. *)
+let roll () = Random.int 6 (* lint: expect stdlib-random *)

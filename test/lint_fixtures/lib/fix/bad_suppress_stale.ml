@@ -1,0 +1,2 @@
+(* Violating fixture: a suppression that masks nothing must rot loudly. *)
+let x = 2 (* lint: allow obj-cast — stale on purpose *) (* lint: expect suppression-stale *)

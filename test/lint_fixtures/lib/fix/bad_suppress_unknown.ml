@@ -1,0 +1,2 @@
+(* Violating fixture: a suppression naming a rule that does not exist. *)
+let x = 1 (* lint: allow no-such-rule — misspelled on purpose *) (* lint: expect suppression-unknown *)

@@ -1,0 +1,4 @@
+(* Violating fixture: a tap suspension with no matching resume. *)
+let quiet f =
+  Tap.suspend (); (* lint: expect tap-pairing *)
+  f ()

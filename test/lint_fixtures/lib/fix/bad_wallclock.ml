@@ -1,0 +1,2 @@
+(* Violating fixture: a wall-clock read outside Monotonic/exec. *)
+let now () = Unix.gettimeofday () (* lint: expect wallclock *)

@@ -1,0 +1,4 @@
+(* Clean fixture: match the exception the expression can raise. *)
+let parse s =
+  try Some (int_of_string s)
+  with Failure _ -> None

@@ -1,0 +1,1 @@
+val parse : string -> int option

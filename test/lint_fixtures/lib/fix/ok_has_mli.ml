@@ -1,0 +1,2 @@
+(* Clean fixture: the interface next door satisfies mli-coverage. *)
+let answer = 42

@@ -1,0 +1,3 @@
+(* Clean fixture: typed serialization. *)
+let encode n = string_of_int n
+let decode s = int_of_string_opt s

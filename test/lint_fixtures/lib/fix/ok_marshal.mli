@@ -1,0 +1,2 @@
+val encode : int -> string
+val decode : string -> int option

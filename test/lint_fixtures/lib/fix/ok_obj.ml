@@ -1,0 +1,6 @@
+(* Clean fixture: a constructor that happens to be named Obj is not the
+   Obj module (regression for the constructor/module confusion). *)
+type t = Obj of int | Other
+
+let wrap n = Obj n
+let unwrap = function Obj n -> n | Other -> 0

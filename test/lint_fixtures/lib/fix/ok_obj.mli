@@ -1,0 +1,4 @@
+type t = Obj of int | Other
+
+val wrap : int -> t
+val unwrap : t -> int

@@ -1,0 +1,2 @@
+(* Clean fixture: libraries build strings and return them. *)
+let report n = Printf.sprintf "n=%d" n

@@ -1,0 +1,1 @@
+val report : int -> string

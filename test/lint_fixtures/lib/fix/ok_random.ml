@@ -1,0 +1,6 @@
+(* Clean fixture — the grep-era false-positive class: Random.int in a
+   doc comment or a string literal must NOT trip the linter. *)
+let label = "call Random.int to lose determinism"
+
+(** Unlike [Random.self_init], a seeded stream replays. *)
+let seed = 42

@@ -1,0 +1,2 @@
+val label : string
+val seed : int

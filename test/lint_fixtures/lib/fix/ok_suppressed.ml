@@ -1,0 +1,4 @@
+(* Clean fixture: the suppression round trip.  The printf finding below
+   is masked by an explained allow comment, and because it masks a real
+   finding it is not stale either. *)
+let shout msg = Printf.printf "%s" msg (* lint: allow printf-in-lib — fixture: suppression round-trip *)

@@ -1,0 +1,4 @@
+(* Clean fixture: suspension and resumption in the same module. *)
+let quiet f =
+  Tap.suspend ();
+  Fun.protect ~finally:Tap.resume f

@@ -1,0 +1,1 @@
+val quiet : (unit -> 'a) -> 'a

@@ -1,0 +1,3 @@
+(* Clean fixture: virtual time is a value you are handed, not a clock
+   you read. *)
+let micros_of_cycles cycles = cycles / 2000

@@ -1,0 +1,1 @@
+val micros_of_cycles : int -> int

@@ -1,0 +1,4 @@
+(* Violating fixture: an entry point that can acquire an orec but
+   reaches neither a release nor an abort. *)
+let step san cpu lock = (* lint: expect stm-lock-pairing *)
+  if san then San.lock_acquire ~cpu ~lock (* lint: expect tap-pairing *)

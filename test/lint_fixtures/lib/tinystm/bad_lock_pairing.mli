@@ -1,0 +1,1 @@
+val step : bool -> int -> int -> unit

@@ -1,0 +1,3 @@
+(* Violating fixture: a raw Vmm word access reachable from an entry
+   point that never charges simulated cycles. *)
+let peek mem addr = V.load mem addr (* lint: expect vmm-charge *)

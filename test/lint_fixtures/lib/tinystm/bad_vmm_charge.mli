@@ -1,0 +1,1 @@
+val peek : int -> int -> int

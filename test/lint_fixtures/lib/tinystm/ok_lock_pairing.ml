@@ -1,0 +1,7 @@
+(* Clean fixture: the acquiring path reaches a release through the
+   intra-module call graph. *)
+let release cpu lock = San.lock_release ~cpu ~lock
+
+let step cpu lock =
+  San.lock_acquire ~cpu ~lock;
+  release cpu lock

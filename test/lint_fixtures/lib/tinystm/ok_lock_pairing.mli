@@ -1,0 +1,2 @@
+val release : int -> int -> unit
+val step : int -> int -> unit

@@ -1,0 +1,5 @@
+(* Clean fixture: the entry point charges cycles before touching the
+   word store. *)
+let peek mem addr =
+  R.charge 4;
+  V.load mem addr

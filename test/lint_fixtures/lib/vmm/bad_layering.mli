@@ -1,0 +1,1 @@
+val drive : unit -> unit

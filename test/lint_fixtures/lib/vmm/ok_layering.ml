@@ -1,0 +1,2 @@
+(* Clean fixture: vmm may depend on runtime (a declared edge). *)
+let boundary () = Tstm_runtime.Tap.run_boundary ()

@@ -1,0 +1,1 @@
+val boundary : unit -> unit
