@@ -95,11 +95,11 @@ let micro_tests () =
            Tinystm.Lockenc.version w + Tinystm.Lockenc.incarnation w));
     Test.make ~name:"bloom add+query"
       (Staged.stage
-         (let b = Tstm_tl2.Bloom.create () in
+         (let b = Tstm_util.Bloom.create () in
           fun () ->
-            Tstm_tl2.Bloom.clear b;
-            Tstm_tl2.Bloom.add b 42;
-            Tstm_tl2.Bloom.may_contain b 42));
+            Tstm_util.Bloom.clear b;
+            Tstm_util.Bloom.add b 42;
+            Tstm_util.Bloom.may_contain b 42));
     reads_tx "tinystm-wb: 100-read tx" wb Ts.read
       (fun t f -> Ts.atomically t f)
       wb_base;
@@ -241,10 +241,13 @@ let main profile full jobs fig micro ablation trace metrics_csv top_contended =
 (* ------------------------------------------------------------------ *)
 
 let real_cmd =
-  let run stm structure domains size updates seed pattern duration warmup reps
-      observe out =
+  let run stm all_stms structure domains size updates seed pattern duration
+      warmup reps observe out =
+    let stms =
+      if all_stms then Tstm_harness.Bench_real.stm_names else [ stm ]
+    in
     if
-      Cli.run_bench_real ?out ~stm ~structure ~domains ~pattern ~size
+      Cli.run_bench_real ?out ~stms ~structure ~domains ~pattern ~size
         ~update_pct:updates ~seed ~duration ~warmup ~reps ~observe ()
     then 0
     else 1
@@ -257,7 +260,8 @@ let real_cmd =
           on stdout and a machine-readable BENCH_*.json snapshot with \
           --out.")
     Term.(
-      const run $ Cli.real_stm_arg $ Cli.real_structure_arg $ Cli.domains_arg
+      const run $ Cli.real_stm_arg $ Cli.real_all_stms_flag
+      $ Cli.real_structure_arg $ Cli.domains_arg
       $ Cli.size_arg $ Cli.updates_arg $ Cli.seed_arg $ Cli.workload_arg
       $ Cli.real_duration_arg $ Cli.warmup_arg $ Cli.reps_arg
       $ Cli.observe_flag $ Cli.out_arg)

@@ -121,12 +121,25 @@ let stm_conv =
   in
   Arg.conv (parse, Format.pp_print_string)
 
+(* The doc string enumerates the registry at startup, so a newly
+   registered STM shows up in --help without touching this file. *)
+let stm_doc () =
+  String.concat ", "
+    (List.map
+       (fun (e : Registry.entry) ->
+         match e.Registry.aliases with
+         | [] -> e.Registry.name
+         | aliases ->
+             Printf.sprintf "%s (%s)" e.Registry.name
+               (String.concat ", " aliases))
+       (Registry.all ()))
+
 let stm_arg =
   Arg.(
     value
     & opt stm_conv "tinystm-wb"
     & info [ "stm" ] ~docv:"STM"
-        ~doc:"STM implementation: tinystm-wb (wb), tinystm-wt (wt) or tl2.")
+        ~doc:(Printf.sprintf "STM implementation: %s." (stm_doc ())))
 
 let size_arg =
   Arg.(value & opt int 256 & info [ "n"; "size" ] ~doc:"Initial structure size.")
@@ -396,7 +409,18 @@ let real_stm_arg =
     value
     & opt string "tinystm-wb"
     & info [ "stm" ] ~docv:"STM"
-        ~doc:"STM implementation: tinystm-wb (wb), tinystm-wt (wt) or tl2.")
+        ~doc:
+          (Printf.sprintf "STM implementation: %s."
+             (String.concat ", " Tstm_harness.Bench_real.stm_names)))
+
+let real_all_stms_flag =
+  Arg.(
+    value & flag
+    & info [ "all-stms" ]
+        ~doc:
+          "Bench every packaged STM (one cell per STM and domain count) \
+           into a single snapshot, ignoring --stm; the three-family \
+           comparison BENCH_*.json that `bench compare` diffs.")
 
 let real_structure_arg =
   Arg.(
@@ -480,7 +504,7 @@ let git_rev () =
   | Some rev -> rev
   | None -> "unknown"
 
-let run_bench_real ?out ~stm ~structure ~domains ~pattern ~size ~update_pct
+let run_bench_real ?out ~stms ~structure ~domains ~pattern ~size ~update_pct
     ~seed ~duration ~warmup ~reps ~observe () =
   let protocol =
     { BR.duration_s = duration; warmup_s = warmup; reps; observe }
@@ -488,33 +512,44 @@ let run_bench_real ?out ~stm ~structure ~domains ~pattern ~size ~update_pct
   let ok = ref true in
   let t0 = Unix.gettimeofday () in
   let cells =
-    List.filter_map
-      (fun d ->
-        prerr_string
-          (Printf.sprintf "bench real: %s %s domains=%d (%d x %.3fs)...\n" stm
-             structure d reps duration);
-        flush stderr;
-        let req =
-          { BR.stm; structure; domains = d; pattern; size; update_pct; seed }
-        in
-        match BR.run_cell req protocol with
-        | Error e ->
-            prerr_string (Printf.sprintf "bench real: %s\n" e);
+    List.concat_map
+      (fun stm ->
+        List.filter_map
+          (fun d ->
+            prerr_string
+              (Printf.sprintf "bench real: %s %s domains=%d (%d x %.3fs)...\n"
+                 stm structure d reps duration);
             flush stderr;
-            ok := false;
-            None
-        | Ok (cell, integ) ->
-            List.iter
-              (fun v ->
-                prerr_string
-                  (Printf.sprintf
-                     "bench real: INVARIANT VIOLATED (%s/%s d=%d): %s\n" stm
-                     structure d v);
+            let req =
+              {
+                BR.stm;
+                structure;
+                domains = d;
+                pattern;
+                size;
+                update_pct;
+                seed;
+              }
+            in
+            match BR.run_cell req protocol with
+            | Error e ->
+                prerr_string (Printf.sprintf "bench real: %s\n" e);
                 flush stderr;
-                ok := false)
-              integ.BR.violations;
-            Some cell)
-      domains
+                ok := false;
+                None
+            | Ok (cell, integ) ->
+                List.iter
+                  (fun v ->
+                    prerr_string
+                      (Printf.sprintf
+                         "bench real: INVARIANT VIOLATED (%s/%s d=%d): %s\n"
+                         stm structure d v);
+                    flush stderr;
+                    ok := false)
+                  integ.BR.violations;
+                Some cell)
+          domains)
+      stms
   in
   if cells = [] then false
   else begin

@@ -116,6 +116,10 @@ val eval_points : ?jobs:int -> Job.point list -> Job.point_outcome option array
 val real_stm_arg : string Cmdliner.Term.t
 (** [--stm STM] (validated by {!Tstm_harness.Bench_real.run_cell}). *)
 
+val real_all_stms_flag : bool Cmdliner.Term.t
+(** [--all-stms]: bench every {!Tstm_harness.Bench_real.stm_names} entry
+    into one snapshot (overrides [--stm]). *)
+
 val real_structure_arg : string Cmdliner.Term.t
 (** [--structure STRUCT]: a structure name or ["vacation"]. *)
 
@@ -139,7 +143,7 @@ val git_rev : unit -> string
 
 val run_bench_real :
   ?out:string ->
-  stm:string ->
+  stms:string list ->
   structure:string ->
   domains:int list ->
   pattern:Tstm_harness.Workload.pattern ->
@@ -152,10 +156,10 @@ val run_bench_real :
   observe:bool ->
   unit ->
   bool
-(** Run one cell per domain count, print the human table on stdout and
-    (with [out]) write the snapshot JSON.  Progress and integrity
-    violations go to stderr.  Returns [false] when any cell failed or
-    violated an invariant. *)
+(** Run one cell per (STM, domain count) pair into a single snapshot,
+    print the human table on stdout and (with [out]) write the snapshot
+    JSON.  Progress and integrity violations go to stderr.  Returns
+    [false] when any cell failed or violated an invariant. *)
 
 val run_bench_compare :
   threshold:float ->

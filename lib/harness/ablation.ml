@@ -15,7 +15,7 @@ type point =
   | Two_level of { hierarchy : int; hierarchy2 : int }
 
 type row =
-  | Cost_row of { label : string; wb : float; tl2 : float }
+  | Cost_row of { label : string; cells : (string * float) list }
   | Wait_row of { attempts : int; throughput : float; aborts : int }
   | Two_level_row of {
       hierarchy : int;
@@ -71,10 +71,24 @@ let run_point = function
   | Cost { label; params } ->
       Rs.configure params;
       let spec = headline_spec ~initial_size:256 in
-      let wb = Scenario.run_intset ~stm:"tinystm-wb" spec in
-      let tl = Scenario.run_intset ~stm:"tl2" spec in
-      Cost_row
-        { label; wb = wb.Workload.throughput; tl2 = tl.Workload.throughput }
+      (* One representative per algorithm family (the first registered
+         entry), so a newly registered family joins the headline
+         sensitivity table without touching this sweep. *)
+      let cells =
+        List.map
+          (fun fam ->
+            match
+              Tstm_tm.Registry.filter (fun e -> e.Tstm_tm.Registry.family = fam)
+            with
+            | [] -> assert false
+            | e :: _ ->
+                let r =
+                  Scenario.run_intset ~stm:e.Tstm_tm.Registry.name spec
+                in
+                (fam, r.Workload.throughput))
+          (Tstm_tm.Registry.families ())
+      in
+      Cost_row { label; cells }
   | Conflict_wait attempts ->
       (* Contention-management alternative of §3.1: bounded wait instead of
          immediate abort on a foreign lock.  [conflict_wait] is a
@@ -123,9 +137,21 @@ let point_label = function
 let header = "=== Cost-model ablation (list 256, 20% updates, 8 threads) ==="
 
 let render = function
-  | Cost_row { label; wb; tl2 } ->
-      Printf.sprintf "%-34s WB %8.0f tx/s   TL2 %8.0f tx/s   (WB/TL2 %.2f)"
-        label wb tl2 (wb /. tl2)
+  | Cost_row { label; cells } ->
+      let body =
+        String.concat "   "
+          (List.map
+             (fun (fam, v) ->
+               Printf.sprintf "%s %8.0f tx/s" (String.uppercase_ascii fam) v)
+             cells)
+      in
+      let ratio =
+        match (List.assoc_opt "tinystm" cells, List.assoc_opt "tl2" cells) with
+        | Some wb, Some tl2 when tl2 > 0. ->
+            Printf.sprintf "   (WB/TL2 %.2f)" (wb /. tl2)
+        | _ -> ""
+      in
+      Printf.sprintf "%-34s %s%s" label body ratio
   | Wait_row { attempts; throughput; aborts } ->
       Printf.sprintf "conflict_wait=%-3d                  WB %8.0f tx/s   aborts %d"
         attempts throughput aborts

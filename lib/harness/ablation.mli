@@ -9,14 +9,16 @@
 
 type point =
   | Cost of { label : string; params : Tstm_runtime.Cache_model.params }
-      (** headline WB-vs-TL2 point under altered cost constants *)
+      (** headline per-family comparison point under altered cost constants *)
   | Conflict_wait of int
       (** bounded wait of [n] attempts on a foreign lock (0 = abort now) *)
   | Two_level of { hierarchy : int; hierarchy2 : int }
       (** two-level hierarchical array on the validation-heavy list *)
 
 type row =
-  | Cost_row of { label : string; wb : float; tl2 : float }
+  | Cost_row of { label : string; cells : (string * float) list }
+      (** one throughput cell per registered algorithm family, in
+          family-registration order (family name, tx/s) *)
   | Wait_row of { attempts : int; throughput : float; aborts : int }
   | Two_level_row of {
       hierarchy : int;

@@ -24,6 +24,7 @@ module Config = Tinystm.Config
 
 module Ts = Tinystm.Make (R)
 module Tl = Tstm_tl2.Tl2.Make (R)
+module No = Tstm_norec.Norec.Make (R)
 
 (* Histogram notes carry no cpu argument; the sharded sink asks this hook
    for the recording domain's shard.  Runtime_real's tids are dense and
@@ -46,6 +47,15 @@ end) : STM = struct
   include Ts
 
   let name = Strategy.name
+  let family = "tinystm"
+
+  let capabilities =
+    {
+      Intf.lock_array = true;
+      dynamic_reconfig = true;
+      read_only_fastpath = true;
+      snapshot_extension = true;
+    }
 
   let create ?(tuning = Intf.default_tuning) ?max_retries ?cm ?watchdog
       ~memory_words () =
@@ -72,13 +82,47 @@ end)
 module Stm_tl2 : STM = struct
   include Tl
 
+  let family = "tl2"
+
+  let capabilities =
+    {
+      Intf.lock_array = true;
+      dynamic_reconfig = false;
+      read_only_fastpath = true;
+      snapshot_extension = false;
+    }
+
   let create ?(tuning = Intf.default_tuning) ?max_retries ?cm ?watchdog
       ~memory_words () =
     Tl.create ~n_locks:tuning.Intf.n_locks ~shifts:tuning.Intf.shifts
       ?max_retries ?cm ?watchdog ~memory_words ()
 
-  let configure _ _ = invalid_arg "tl2: dynamic reconfiguration unsupported"
+  let configure _ _ =
+    Intf.capability_error ~stm:"tl2" ~capability:"dynamic_reconfig"
+
   let live_words t = V.live_words (Tl.memory t)
+end
+
+module Stm_norec : STM = struct
+  include No
+
+  let family = "norec"
+
+  let capabilities =
+    {
+      Intf.lock_array = false;
+      dynamic_reconfig = false;
+      read_only_fastpath = true;
+      snapshot_extension = true;
+    }
+
+  let create ?tuning:_ ?max_retries ?cm ?watchdog ~memory_words () =
+    No.create ?max_retries ?cm ?watchdog ~memory_words ()
+
+  let configure _ _ =
+    Intf.capability_error ~stm:"norec" ~capability:"dynamic_reconfig"
+
+  let live_words t = V.live_words (No.memory t)
 end
 
 let stms =
@@ -86,6 +130,7 @@ let stms =
     ("tinystm-wb", [ "wb" ], (module Stm_wb : STM));
     ("tinystm-wt", [ "wt" ], (module Stm_wt : STM));
     ("tl2", [], (module Stm_tl2 : STM));
+    ("norec", [], (module Stm_norec : STM));
   ]
 
 let stm_names = List.map (fun (n, _, _) -> n) stms

@@ -20,8 +20,8 @@
 
 val stm_names : string list
 (** Canonical STM names available on the real runtime
-    (["tinystm-wb"], ["tinystm-wt"], ["tl2"]); the aliases ["wb"] and
-    ["wt"] also resolve. *)
+    (["tinystm-wb"], ["tinystm-wt"], ["tl2"], ["norec"]); the aliases
+    ["wb"] and ["wt"] also resolve. *)
 
 type protocol = {
   duration_s : float;  (** length of each timed repetition *)

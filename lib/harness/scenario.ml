@@ -1,6 +1,7 @@
 module R = Tstm_runtime.Runtime_sim
 module Ts = Tinystm.Make (R)
 module Tl = Tstm_tl2.Tl2.Make (R)
+module No = Tstm_norec.Norec.Make (R)
 module Vac = Tstm_vacation.Vacation.Make (Ts)
 module Config = Tinystm.Config
 module Intf = Tstm_tm.Tm_intf
@@ -28,6 +29,15 @@ end) : Intf.STM = struct
   include Ts
 
   let name = Strategy.name
+  let family = "tinystm"
+
+  let capabilities =
+    {
+      Intf.lock_array = true;
+      dynamic_reconfig = true;
+      read_only_fastpath = true;
+      snapshot_extension = true;
+    }
 
   let create ?(tuning = Intf.default_tuning) ?max_retries ?cm ?watchdog
       ~memory_words () =
@@ -54,14 +64,50 @@ end)
 module Stm_tl2 : Intf.STM = struct
   include Tl
 
+  let family = "tl2"
+
+  let capabilities =
+    {
+      Intf.lock_array = true;
+      dynamic_reconfig = false;
+      read_only_fastpath = true;
+      snapshot_extension = false;
+    }
+
   let create ?(tuning = Intf.default_tuning) ?max_retries ?cm ?watchdog
       ~memory_words () =
     (* TL2 has no hierarchical array; those knobs are ignored. *)
     Tl.create ~n_locks:tuning.Intf.n_locks ~shifts:tuning.Intf.shifts
       ?max_retries ?cm ?watchdog ~memory_words ()
 
-  let configure _ _ = invalid_arg "tl2: dynamic reconfiguration unsupported"
+  let configure _ _ =
+    Intf.capability_error ~stm:"tl2" ~capability:"dynamic_reconfig"
+
   let live_words t = V.live_words (Tl.memory t)
+end
+
+module Stm_norec : Intf.STM = struct
+  include No
+
+  let family = "norec"
+
+  let capabilities =
+    {
+      Intf.lock_array = false;
+      dynamic_reconfig = false;
+      read_only_fastpath = true;
+      snapshot_extension = true;
+    }
+
+  let create ?tuning:_ ?max_retries ?cm ?watchdog ~memory_words () =
+    (* NOrec has no lock array and no hierarchy: the whole tuning record
+       is inert (capabilities.lock_array = false). *)
+    No.create ?max_retries ?cm ?watchdog ~memory_words ()
+
+  let configure _ _ =
+    Intf.capability_error ~stm:"norec" ~capability:"dynamic_reconfig"
+
+  let live_words t = V.live_words (No.memory t)
 end
 
 let () =
@@ -69,9 +115,20 @@ let () =
     (module Stm_wb : Intf.STM);
   Registry.register ~aliases:[ "wt" ] ~label:"TinySTM-WT"
     (module Stm_wt : Intf.STM);
-  Registry.register ~label:"TL2" (module Stm_tl2 : Intf.STM)
+  Registry.register ~label:"TL2" (module Stm_tl2 : Intf.STM);
+  Registry.register ~label:"NOrec" (module Stm_norec : Intf.STM)
 
-let all_stms = Registry.names ()
+(* Canonical enumeration order for reports: family-major, so columns of
+   the same algorithm family stay adjacent in every table regardless of
+   registration interleaving. *)
+let all_stms =
+  List.concat_map
+    (fun fam ->
+      List.map
+        (fun e -> e.Registry.name)
+        (Registry.filter (fun e -> e.Registry.family = fam)))
+    (Registry.families ())
+
 let stm_label = Registry.label
 
 (* ------------------------------------------------------------------ *)

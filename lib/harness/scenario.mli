@@ -2,18 +2,21 @@
     (STM implementation, workload) pair.  All the figure drivers build on
     these.
 
-    Loading this module registers the three packaged STM implementations —
-    ["tinystm-wb"] (alias ["wb"]), ["tinystm-wt"] (alias ["wt"]) and
-    ["tl2"] — in {!Tstm_tm.Registry}; every [~stm] argument below is a
-    registry name or alias. *)
+    Loading this module registers the packaged STM implementations —
+    ["tinystm-wb"] (alias ["wb"]), ["tinystm-wt"] (alias ["wt"]), ["tl2"]
+    and ["norec"] — in {!Tstm_tm.Registry}; every [~stm] argument below is
+    a registry name or alias. *)
 
 module R = Tstm_runtime.Runtime_sim
 module Ts : module type of Tinystm.Make (R)
 module Tl : module type of Tstm_tl2.Tl2.Make (R)
+module No : module type of Tstm_norec.Norec.Make (R)
 module Vac : module type of Tstm_vacation.Vacation.Make (Ts)
 
 val all_stms : string list
-(** Canonical registry names, in registration (= presentation) order. *)
+(** Canonical registry names in family-major presentation order: entries
+    of the same algorithm family stay adjacent, families in
+    first-registration order. *)
 
 val stm_label : string -> string
 (** Display label, e.g. ["TinySTM-WB"]; raises [Invalid_argument] for

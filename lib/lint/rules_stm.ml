@@ -15,24 +15,32 @@ type eff = Acq | Rel | Abt | Mem | Chg
 
 let suffix r pat = Astq.suffix_matches ~pat r.Astq.r_lid
 
-let in_stm p = under2 ~a:"lib" ~b:"tinystm" p || under2 ~a:"lib" ~b:"tl2" p
+let in_stm p =
+  under2 ~a:"lib" ~b:"tinystm" p
+  || under2 ~a:"lib" ~b:"tl2" p
+  || under2 ~a:"lib" ~b:"norec" p
 
 (* --- stm-lock-pairing ------------------------------------------------ *)
 
+(* The global sequence lock follows the same acquire/release discipline as
+   an orec slot; its Tap.seqlock producers are the machine-checkable
+   markers of the even-to-odd CAS and the publishing store. *)
 let lock_pairing_direct r =
   if suffix r [ "San"; "lock_acquire" ] then [ Acq ]
   else if suffix r [ "San"; "lock_release" ] then [ Rel ]
+  else if suffix r [ "Tap"; "seqlock_acquire" ] then [ Acq ]
+  else if suffix r [ "Tap"; "seqlock_release" ] then [ Rel ]
   else if suffix r [ "San"; "tx_abort" ] then [ Abt ]
   else if suffix r [ "Abort_exn" ] then [ Abt ]
   else []
 
 let stm_lock_pairing =
   let id = "stm-lock-pairing" in
-  mk ~id ~severity:Finding.Error ~scope_doc:"lib/tinystm, lib/tl2"
+  mk ~id ~severity:Finding.Error ~scope_doc:"lib/tinystm, lib/tl2, lib/norec"
     ~scope:in_stm
     ~doc:
-      "every call path that can acquire an orec reaches a release or an \
-       abort within the module"
+      "every call path that can acquire an orec or the global sequence \
+       lock reaches a release or an abort within the module"
     (File_pass
        (fun file ->
          match file.str with
@@ -79,8 +87,8 @@ let vmm_charge_direct r =
 let vmm_charge =
   let id = "vmm-charge" in
   mk ~id ~severity:Finding.Error
-    ~scope_doc:"lib/tinystm, lib/tl2, lib/structures" ~scope:(fun p ->
-      in_stm p || under2 ~a:"lib" ~b:"structures" p)
+    ~scope_doc:"lib/tinystm, lib/tl2, lib/norec, lib/structures"
+    ~scope:(fun p -> in_stm p || under2 ~a:"lib" ~b:"structures" p)
     ~doc:
       "raw Vmm word accesses are only reachable from entry points that \
        charge simulated cycles, so every simulated step is accounted"
@@ -110,6 +118,7 @@ let vmm_charge =
 let tap_pairs =
   [
     ([ "San"; "lock_acquire" ], [ "San"; "lock_release" ]);
+    ([ "Tap"; "seqlock_acquire" ], [ "Tap"; "seqlock_release" ]);
     ([ "San"; "tx_begin" ], [ "San"; "tx_exit" ]);
     ([ "San"; "fence_owner_entry" ], [ "San"; "fence_owner_exit" ]);
     ([ "Tap"; "suspend" ], [ "Tap"; "resume" ]);
@@ -174,10 +183,11 @@ let layers =
     { dir = "tm"; root_module = "Tstm_tm"; lib_name = "tstm_tm"; allowed = [ "util"; "cm"; "runtime"; "vmm"; "obs" ] };
     { dir = "tinystm"; root_module = "Tinystm"; lib_name = "tinystm"; allowed = [ "util"; "cm"; "obs"; "chaos"; "runtime"; "vmm"; "tm"; "san" ] };
     { dir = "tl2"; root_module = "Tstm_tl2"; lib_name = "tstm_tl2"; allowed = [ "util"; "cm"; "obs"; "chaos"; "runtime"; "vmm"; "tm"; "san" ] };
+    { dir = "norec"; root_module = "Tstm_norec"; lib_name = "tstm_norec"; allowed = [ "util"; "cm"; "obs"; "chaos"; "runtime"; "vmm"; "tm"; "san" ] };
     { dir = "structures"; root_module = "Tstm_structures"; lib_name = "tstm_structures"; allowed = [ "util"; "runtime"; "vmm"; "tm" ] };
     { dir = "tuning"; root_module = "Tstm_tuning"; lib_name = "tstm_tuning"; allowed = [ "util"; "obs"; "tinystm" ] };
     { dir = "vacation"; root_module = "Tstm_vacation"; lib_name = "tstm_vacation"; allowed = [ "util"; "runtime"; "tm"; "structures" ] };
-    { dir = "harness"; root_module = "Tstm_harness"; lib_name = "tstm_harness"; allowed = [ "util"; "cm"; "obs"; "chaos"; "runtime"; "vmm"; "tm"; "san"; "tinystm"; "tl2"; "structures"; "tuning"; "vacation" ] };
+    { dir = "harness"; root_module = "Tstm_harness"; lib_name = "tstm_harness"; allowed = [ "util"; "cm"; "obs"; "chaos"; "runtime"; "vmm"; "tm"; "san"; "tinystm"; "tl2"; "norec"; "structures"; "tuning"; "vacation" ] };
     { dir = "service"; root_module = "Tstm_service"; lib_name = "tstm_service"; allowed = [ "util"; "cm"; "obs"; "chaos"; "runtime"; "tm"; "san"; "structures"; "vacation"; "harness" ] };
     { dir = "exec"; root_module = "Tstm_exec"; lib_name = "tstm_exec"; allowed = [ "util"; "cm"; "obs"; "runtime"; "tm"; "san"; "tinystm"; "harness"; "service" ] };
     { dir = "lint"; root_module = "Tstm_lint"; lib_name = "tstm_lint"; allowed = [] };

@@ -72,6 +72,8 @@ type state = {
   park_vc : int array array;  (* T: release history of each fence flag *)
   lock_vc : (int, int array) Hashtbl.t;  (* L: per lock-array slot *)
   lock_owner : (int, int) Hashtbl.t;  (* current holder, [-1] = free *)
+  seq_vc : int array;  (* release history of the global sequence lock *)
+  mutable seq_owner : int;  (* committing holder of the seqlock, [-1] = free *)
   owned : G.t array;  (* per-CPU list of held lock slots *)
   mutable w_ep : int array;  (* per-word last-writer epoch *)
   mutable w_st : int array;  (* per-word status *)
@@ -102,6 +104,8 @@ let make ~ncpus ~max_findings =
     park_vc = Array.init ncpus (fun _ -> Array.make ncpus 0);
     lock_vc = Hashtbl.create 64;
     lock_owner = Hashtbl.create 64;
+    seq_vc = Array.make ncpus 0;
+    seq_owner = -1;
     owned = Array.init ncpus (fun _ -> G.create 8);
     w_ep = Array.make 4096 0;
     w_st = Array.make 4096 0;
@@ -398,6 +402,74 @@ let lock_release ~cpu ~lock =
       join l s.vc.(cpu);
       s.vc.(cpu).(cpu) <- s.vc.(cpu).(cpu) + 1)
 
+(* --- global sequence lock (NOrec) ---------------------------------------- *)
+
+(* There is exactly one global sequence lock, reported as slot 0 of the
+   ["seqlock"] label.  Acquire = the even→odd CAS a writer wins before
+   write-back; release = publishing the next even value; validate = a
+   successful value-based revalidation of the whole read set against an
+   even sequence value. *)
+
+let seqlock_acquire ~cpu ~drawn =
+  with_state cpu (fun s ->
+      (if s.seq_owner >= 0 then
+         report s ~kind:Double_acquire ~cpu ~other:s.seq_owner
+           ~label:"seqlock" ~addr:0
+           (if s.seq_owner = cpu then
+              "acquired the sequence lock it already holds"
+            else
+              Printf.sprintf
+                "acquired the sequence lock while cpu=%d is still committing"
+                s.seq_owner));
+      s.seq_owner <- cpu;
+      join s.vc.(cpu) s.seq_vc;
+      (* The version to be published at release plays the role a drawn clock
+         value plays in orec STMs; [commit_publish] checks they agree. *)
+      s.drawn.(cpu) <- drawn)
+
+let seqlock_release ~cpu =
+  with_state cpu (fun s ->
+      (if s.seq_owner = cpu then s.seq_owner <- -1
+       else if s.seq_owner >= 0 then
+         report s ~kind:Lock_not_held ~cpu ~other:s.seq_owner ~label:"seqlock"
+           ~addr:0
+           (Printf.sprintf "released the sequence lock held by cpu=%d"
+              s.seq_owner)
+       else
+         report s ~kind:Lock_not_held ~cpu ~label:"seqlock" ~addr:0
+           "released the sequence lock it does not hold");
+      join s.seq_vc s.vc.(cpu);
+      s.vc.(cpu).(cpu) <- s.vc.(cpu).(cpu) + 1)
+
+let seqlock_validate ~cpu ~value =
+  with_state cpu (fun s ->
+      join s.vc.(cpu) s.seq_vc;
+      s.rv.(cpu) <- value;
+      (* A passed value-based validation re-certifies the entire read set at
+         the new snapshot: refresh every logged read to the word's current
+         shadow so later stale checks judge against this validation point,
+         not the original accept.  This is what makes value validation
+         admissible to a version-based sanitizer — a benign same-value
+         republish stops mattering once re-certified, while genuine
+         protocol breakage still trips the commit-time check, because the
+         commit CAS only succeeds when nothing republished after the last
+         validation. *)
+      let rl = s.rlog.(cpu) in
+      let n = G.length rl in
+      let k = ref 0 in
+      while !k < n do
+        let addr = G.get rl !k in
+        let cep = s.w_ep.(addr) and cst = s.w_st.(addr) in
+        let cep, cst =
+          if cst = st_pending && ep_cpu cep = cpu then
+            pre_write_shadow s cpu addr ~ep:cep ~st:cst
+          else (cep, cst)
+        in
+        G.set rl (!k + 1) cep;
+        G.set rl (!k + 2) cst;
+        k := !k + 3
+      done)
+
 let commit_publish ~cpu ~wv =
   with_state cpu (fun s ->
       if s.in_tx.(cpu) then begin
@@ -457,6 +529,12 @@ let tx_exit ~cpu ~committed =
             Hashtbl.replace s.lock_owner lk (-1)
           done;
           G.clear o
+        end;
+        if s.seq_owner = cpu then begin
+          report s ~kind:Orec_leak ~cpu ~label:"seqlock" ~addr:0
+            (Printf.sprintf "sequence lock still held after %s exit"
+               (if committed then "commit" else "abort"));
+          s.seq_owner <- -1
         end;
         s.in_tx.(cpu) <- false;
         G.clear s.rlog.(cpu);
@@ -539,6 +617,10 @@ let on_vmm_free ~cpu ~addr ~len =
       done
   | _ -> ()
 
+let on_seqlock_acquire ~cpu ~drawn = seqlock_acquire ~cpu ~drawn
+let on_seqlock_release ~cpu = seqlock_release ~cpu
+let on_seqlock_validate ~cpu ~value = seqlock_validate ~cpu ~value
+
 let on_run_boundary () =
   match !state with
   | Some s ->
@@ -569,6 +651,9 @@ let arm ?(max_findings = 64) ~ncpus () =
          on_vmm_alloc;
          on_vmm_free;
          on_run_boundary;
+         on_seqlock_acquire;
+         on_seqlock_release;
+         on_seqlock_validate;
        })
 
 let disarm () =

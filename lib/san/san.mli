@@ -152,6 +152,35 @@ val tx_exit : cpu:int -> committed:bool -> unit
     lock-free commits runs the snapshot consistency check against the
     snapshot bound. *)
 
+(** {2 Global sequence lock (NOrec)}
+
+    Orec-free STMs synchronize through a single global sequence lock: even
+    values are timestamps, a committing writer CASes it odd, writes back,
+    and publishes the next even value.  These annotations (slot 0 of the
+    ["seqlock"] label; normally driven through the
+    {!Tstm_runtime.Tap.seqlock_acquire} family of producers) carry the
+    whole happens-before structure of such an STM: acquire/release edges
+    through the lock, plus re-certification of the read set on every
+    passed value-based validation — which is what makes value validation
+    admissible to this version-based sanitizer without false positives. *)
+
+val seqlock_acquire : cpu:int -> drawn:int -> unit
+(** The even→odd commit CAS succeeded; [drawn] is the even version the
+    committer will publish at release (checked by {!commit_publish}).
+    Checks the lock is free and acquires its release history. *)
+
+val seqlock_release : cpu:int -> unit
+(** The committer published the next even value: checks ownership and
+    releases the CPU's history into the lock. *)
+
+val seqlock_validate : cpu:int -> value:int -> unit
+(** A value-based validation of the whole read set passed against the even
+    sequence value [value] (transaction start, a fast-forward snapshot
+    extension, or pre-commit revalidation): acquires the lock's release
+    history, moves the snapshot bound to [value] and re-certifies every
+    logged read at the current shadow state.  Only call after a validation
+    that actually ran and passed — the armed protocol bugs must skip it. *)
+
 val thread_park : cpu:int -> unit
 (** The CPU lowers its in-transaction fence flag (releases its history to
     a future fence owner). *)

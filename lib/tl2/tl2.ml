@@ -1,6 +1,7 @@
 module Make (R : Tstm_runtime.Runtime_intf.S) = struct
   module V = Tstm_vmm.Vmm.Make (R)
   module G = Tstm_util.Growbuf
+  module Bloom = Tstm_util.Bloom
   module Stats = Tstm_tm.Tm_stats
 
   let name = "tl2"

@@ -5,14 +5,20 @@
    (or a short alias) and get back a first-class [(module Tm_intf.STM)].
    Entries are registered at module-initialisation time by the library that
    instantiates the implementation over a concrete runtime (see
-   [Tstm_harness.Scenario], which registers tinystm-wb, tinystm-wt and tl2
-   over the simulated runtime); a binary that links that library sees the
-   entries before [main] runs. *)
+   [Tstm_harness.Scenario], which registers tinystm-wb, tinystm-wt, tl2 and
+   norec over the simulated runtime); a binary that links that library sees
+   the entries before [main] runs.
+
+   Family and capability metadata are pulled from the module itself at
+   registration, so the registry is also the single source of truth for
+   capability-driven plan filtering ([fold], [filter], [families]). *)
 
 type entry = {
   name : string;
   label : string;
   aliases : string list;
+  family : string;
+  capabilities : Tm_intf.capabilities;
   stm : (module Tm_intf.STM);
 }
 
@@ -40,7 +46,16 @@ let register ?(aliases = []) ?label (stm : (module Tm_intf.STM)) =
       if mem key then
         invalid_arg (Printf.sprintf "Registry.register: %S already bound" key))
     (name :: aliases);
-  entries := { name; label; aliases; stm } :: !entries
+  entries :=
+    {
+      name;
+      label;
+      aliases;
+      family = M.family;
+      capabilities = M.capabilities;
+      stm;
+    }
+    :: !entries
 
 let unknown name =
   invalid_arg
@@ -56,3 +71,32 @@ let canonical name =
 
 let label name =
   match entry_of name with Some e -> e.label | None -> unknown name
+
+let family name =
+  match entry_of name with Some e -> e.family | None -> unknown name
+
+let capabilities name =
+  match entry_of name with Some e -> e.capabilities | None -> unknown name
+
+let fold f init = List.fold_left f init (all ())
+
+(* Families in first-appearance order, deduplicated. *)
+let families () =
+  List.rev
+    (fold
+       (fun acc e -> if List.mem e.family acc then acc else e.family :: acc)
+       [])
+
+let filter p = List.filter p (all ())
+
+let require name capability =
+  let e = match entry_of name with Some e -> e | None -> unknown name in
+  let have =
+    match capability with
+    | "lock_array" -> e.capabilities.Tm_intf.lock_array
+    | "dynamic_reconfig" -> e.capabilities.Tm_intf.dynamic_reconfig
+    | "read_only_fastpath" -> e.capabilities.Tm_intf.read_only_fastpath
+    | "snapshot_extension" -> e.capabilities.Tm_intf.snapshot_extension
+    | other -> invalid_arg ("Registry.require: unknown capability " ^ other)
+  in
+  if not have then Tm_intf.capability_error ~stm:e.name ~capability

@@ -6,14 +6,28 @@
     [Tstm_harness.Scenario] for the simulated runtime) under a canonical
     name plus optional short aliases; harness and CLI code resolves either
     form.  Lookups raise [Invalid_argument] listing the known names, so a
-    typo in a CLI flag produces an actionable message. *)
+    typo in a CLI flag produces an actionable message.
+
+    Each entry carries the module's self-declared algorithm [family] and
+    {!Tm_intf.capabilities}, so drivers filter plans by capability
+    ({!fold}, {!filter}, {!require}) instead of matching on names. *)
+
+type entry = {
+  name : string;  (** canonical name, e.g. ["tinystm-wb"] *)
+  label : string;  (** display label, e.g. ["TinySTM-WB"] *)
+  aliases : string list;
+  family : string;  (** e.g. ["tinystm"], ["tl2"], ["norec"] *)
+  capabilities : Tm_intf.capabilities;
+  stm : (module Tm_intf.STM);
+}
 
 val register :
   ?aliases:string list -> ?label:string -> (module Tm_intf.STM) -> unit
-(** Register under the module's [name].  [aliases] are alternate lookup
-    keys (e.g. ["wb"] for ["tinystm-wb"]); [label] is the display label
-    used in figure headings (defaults to the name).  Raises
-    [Invalid_argument] when the name or an alias is already bound. *)
+(** Register under the module's [name]; [family] and [capabilities] are
+    read off the module.  [aliases] are alternate lookup keys (e.g. ["wb"]
+    for ["tinystm-wb"]); [label] is the display label used in figure
+    headings (defaults to the name).  Raises [Invalid_argument] when the
+    name or an alias is already bound. *)
 
 val find : string -> (module Tm_intf.STM) option
 (** Resolve a canonical name or alias; [None] when unknown. *)
@@ -23,11 +37,38 @@ val get : string -> (module Tm_intf.STM)
 
 val mem : string -> bool
 
+val entry_of : string -> entry option
+(** Full entry for a name or alias; [None] when unknown. *)
+
 val canonical : string -> string
 (** Canonical name for a name or alias; raises when unknown. *)
 
 val label : string -> string
 (** Display label (e.g. ["TinySTM-WB"]); raises when unknown. *)
 
+val family : string -> string
+(** Algorithm family of a name or alias; raises when unknown. *)
+
+val capabilities : string -> Tm_intf.capabilities
+(** Capability record of a name or alias; raises when unknown. *)
+
 val names : unit -> string list
 (** Canonical names in registration order. *)
+
+val all : unit -> entry list
+(** Entries in registration order. *)
+
+val fold : ('a -> entry -> 'a) -> 'a -> 'a
+(** Left fold over entries in registration order — the way shared test
+    batteries enumerate every registered implementation. *)
+
+val filter : (entry -> bool) -> entry list
+(** Entries satisfying a predicate, in registration order. *)
+
+val families : unit -> string list
+(** Distinct families in first-registration order. *)
+
+val require : string -> string -> unit
+(** [require stm capability] raises {!Tm_intf.Capability_error} when the
+    named STM lacks the capability (field name, e.g. ["dynamic_reconfig"]);
+    [Invalid_argument] for unknown STMs or capability names. *)

@@ -1,8 +1,9 @@
 (** The word-transaction interface.
 
     Every STM in this repository (TinySTM write-back, TinySTM write-through,
-    TL2) implements [TM]; every transactional data structure is a functor
-    over it.  Addresses are {!Tstm_vmm.Vmm} word addresses ([int], 0 = null).
+    TL2, NOrec) implements [TM]; every transactional data structure is a
+    functor over it.  Addresses are {!Tstm_vmm.Vmm} word addresses ([int],
+    0 = null).
 
     Inside a transaction, user code only ever observes consistent snapshots
     (the time-base guarantees of LSA/TL2); conflicts surface as an internal
@@ -10,8 +11,9 @@
     must let exceptions propagate. *)
 
 (** The tuning parameters every STM instance is created with (paper §4).
-    STMs without a given knob ignore it: TL2 has no hierarchical array, so
-    [hierarchy]/[hierarchy2] are meaningless there. *)
+    STMs without a given knob ignore it at creation: TL2 has no
+    hierarchical array, NOrec has no lock array at all.  Which knobs are
+    live is declared by {!capabilities}, not guessed from names. *)
 type tuning = {
   n_locks : int;  (** size of the lock array; a power of two *)
   shifts : int;  (** address right-shifts before lock hashing *)
@@ -21,6 +23,41 @@ type tuning = {
 
 let default_tuning =
   { n_locks = 1 lsl 16; shifts = 0; hierarchy = 1; hierarchy2 = 1 }
+
+(** What an STM implementation can actually do, declared by the
+    implementation itself and carried through {!Registry}.  Plans, tuners
+    and sweeps consult these flags instead of matching on STM names, so a
+    new algorithm family slots in without touching the drivers. *)
+type capabilities = {
+  lock_array : bool;
+      (** Has a per-stripe lock/orec array, so the [n_locks]/[shifts]
+          knobs are meaningful ([false] for NOrec: one global seqlock). *)
+  dynamic_reconfig : bool;
+      (** Supports quiescent re-tuning via [configure] (the paper's §4.2
+          roll-over fence); [false] makes [configure] a capability error. *)
+  read_only_fastpath : bool;
+      (** [atomically ~read_only:true] skips read-set maintenance. *)
+  snapshot_extension : bool;
+      (** Can revalidate and extend its snapshot instead of aborting on
+          clock change (LSA extension; NOrec's value-based fast-forward). *)
+}
+
+(** Raised by [configure] (and by sweep axes that require a knob) when the
+    target STM lacks the capability, e.g. re-tuning TL2 or sweeping the
+    lock-array size of NOrec.  [stm] is the canonical name, [capability]
+    the record field name, e.g. ["dynamic_reconfig"]. *)
+exception Capability_error of { stm : string; capability : string }
+
+let capability_error ~stm ~capability =
+  raise (Capability_error { stm; capability })
+
+let () =
+  Printexc.register_printer (function
+    | Capability_error { stm; capability } ->
+        Some
+          (Printf.sprintf "STM %S does not support %s (capability error)" stm
+             capability)
+    | _ -> None)
 
 module type TM = sig
   type t
@@ -67,6 +104,14 @@ end
 module type STM = sig
   include TM
 
+  val family : string
+  (** Algorithm family, e.g. ["tinystm"], ["tl2"], ["norec"].  Reports
+      group columns by family; several registry entries may share one
+      (tinystm-wb and tinystm-wt are both ["tinystm"]). *)
+
+  val capabilities : capabilities
+  (** What this implementation can do; see {!capabilities}. *)
+
   val create :
     ?tuning:tuning ->
     ?max_retries:int ->
@@ -89,8 +134,8 @@ module type STM = sig
 
   val configure : t -> tuning -> unit
   (** Re-tune a quiescent instance in place (the clock roll-over fence of
-      paper §4.2).  Raises [Invalid_argument] for STMs without dynamic
-      reconfiguration (TL2). *)
+      paper §4.2).  Raises {!Capability_error} for STMs whose
+      [capabilities.dynamic_reconfig] is [false] (TL2, NOrec). *)
 
   val live_words : t -> int
   (** Words currently allocated in the instance's arena — the allocator

@@ -5,10 +5,10 @@ let word_bits = 62
 let create () = { bits = 0 }
 let clear t = t.bits <- 0
 
-let hash1 addr = Tstm_util.Bitops.mix addr mod word_bits
+let hash1 addr = Bitops.mix addr mod word_bits
 
 let hash2 addr =
-  Tstm_util.Bitops.mix (addr lxor 0x5bd1e995) mod word_bits
+  Bitops.mix (addr lxor 0x5bd1e995) mod word_bits
 
 let mask addr = (1 lsl hash1 addr) lor (1 lsl hash2 addr)
 

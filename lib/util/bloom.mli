@@ -1,6 +1,7 @@
-(** Single-word Bloom filter over addresses, as used by TL2 to avoid
-    traversing the write set on every read (paper §3.1: "TL2 uses Bloom
-    filters to avoid unnecessary write set traversals").
+(** Single-word Bloom filter over addresses, as used by the redo-log STMs
+    (TL2, NOrec) to avoid traversing the write set on every read (paper
+    §3.1: "TL2 uses Bloom filters to avoid unnecessary write set
+    traversals").
 
     Two derived hash bits per element in a 62-bit word: false positives are
     possible (they cost a wasted write-set search), false negatives are not

@@ -12,6 +12,7 @@ module Workload = Tstm_harness.Workload
 module Config = Tinystm.Config
 module Ts = Scenario.Ts
 module Tl = Scenario.Tl
+module No = Scenario.No
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -181,6 +182,7 @@ end
 
 module Hot_ts = Hot (Ts)
 module Hot_tl = Hot (Tl)
+module Hot_no = Hot (No)
 
 let check_escalation name (v, stats) ~expect =
   check_int (name ^ ": exact counter value") expect v;
@@ -204,6 +206,10 @@ let test_escalation_tl2 () =
   let t = Tl.create ~n_locks:64 ~max_retries:4 ~memory_words:256 () in
   check_escalation "tl2" (Hot_tl.run t ~nthreads:8 ~iters:50) ~expect:400
 
+let test_escalation_norec () =
+  let t = No.create ~max_retries:4 ~memory_words:256 () in
+  check_escalation "norec" (Hot_no.run t ~nthreads:8 ~iters:50) ~expect:400
+
 let test_no_escalation_without_budget () =
   (* max_retries = 0 disables the watchdog: same workload, zero
      escalations, still the exact count. *)
@@ -219,9 +225,13 @@ let test_max_retries_validated () =
      ignore (Ts.create ~max_retries:(-1) ~memory_words:64 ());
      Alcotest.fail "negative max_retries accepted (tinystm)"
    with Invalid_argument _ -> ());
+  (try
+     ignore (Tl.create ~max_retries:(-1) ~memory_words:64 ());
+     Alcotest.fail "negative max_retries accepted (tl2)"
+   with Invalid_argument _ -> ());
   try
-    ignore (Tl.create ~max_retries:(-1) ~memory_words:64 ());
-    Alcotest.fail "negative max_retries accepted (tl2)"
+    ignore (No.create ~max_retries:(-1) ~memory_words:64 ());
+    Alcotest.fail "negative max_retries accepted (norec)"
   with Invalid_argument _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -292,6 +302,7 @@ let () =
           Alcotest.test_case "write-through hot counter" `Quick
             (test_escalation_tinystm Config.Write_through);
           Alcotest.test_case "tl2 hot counter" `Quick test_escalation_tl2;
+          Alcotest.test_case "norec hot counter" `Quick test_escalation_norec;
           Alcotest.test_case "no escalation without budget" `Quick
             test_no_escalation_without_budget;
           Alcotest.test_case "max_retries validated" `Quick

@@ -215,6 +215,66 @@ let test_autotune_applies_configs () =
   check_bool "explored several configs" true (List.length distinct >= 2)
 
 (* ------------------------------------------------------------------ *)
+(* Registry metadata and the capability API                           *)
+(* ------------------------------------------------------------------ *)
+
+module Registry = Tstm_tm.Registry
+module Intf = Tstm_tm.Tm_intf
+
+let test_registry_metadata () =
+  Alcotest.(check (list string))
+    "families in first-registration order"
+    [ "tinystm"; "tl2"; "norec" ]
+    (Registry.families ());
+  Alcotest.(check string) "alias resolves to family" "tinystm"
+    (Registry.family "wb");
+  let caps = Registry.capabilities "norec" in
+  check_bool "norec has no lock array" false caps.Intf.lock_array;
+  check_bool "norec extends snapshots" true caps.Intf.snapshot_extension;
+  check_bool "tl2 does not extend snapshots" false
+    (Registry.capabilities "tl2").Intf.snapshot_extension;
+  check_bool "tinystm reconfigures" true
+    (Registry.capabilities "tinystm-wb").Intf.dynamic_reconfig;
+  check_int "fold visits every entry"
+    (List.length (Registry.names ()))
+    (Registry.fold (fun n _ -> n + 1) 0);
+  check_bool "entry_of unknown is None" true
+    (Registry.entry_of "no-such-stm" = None)
+
+let test_registry_require () =
+  Registry.require "tinystm-wb" "dynamic_reconfig";
+  Registry.require "norec" "snapshot_extension";
+  (match Registry.require "norec" "lock_array" with
+  | exception Intf.Capability_error { stm = "norec"; capability = "lock_array" }
+    -> ()
+  | exception e -> Alcotest.fail ("wrong exception: " ^ Printexc.to_string e)
+  | () -> Alcotest.fail "missing capability accepted");
+  let invalid f = try f (); false with Invalid_argument _ -> true in
+  check_bool "unknown capability name rejected" true
+    (invalid (fun () -> Registry.require "norec" "warp_drive"));
+  check_bool "unknown stm rejected" true
+    (invalid (fun () -> Registry.require "no-such-stm" "lock_array"))
+
+let test_configure_capability_error () =
+  (* [configure] on a non-reconfigurable STM is the typed error naming the
+     STM and the missing capability; on TinySTM it just applies. *)
+  List.iter
+    (fun stm ->
+      let (module M) = Registry.get stm in
+      let t = M.create ~memory_words:64 () in
+      match M.configure t Intf.default_tuning with
+      | exception Intf.Capability_error { stm = s; capability } ->
+          Alcotest.(check string) (stm ^ " error names the stm") stm s;
+          Alcotest.(check string)
+            (stm ^ " error names the capability")
+            "dynamic_reconfig" capability
+      | () -> Alcotest.fail (stm ^ ": configure should be a capability error"))
+    [ "tl2"; "norec" ];
+  let (module M) = Registry.get "tinystm-wb" in
+  let t = M.create ~memory_words:64 () in
+  M.configure t Intf.default_tuning
+
+(* ------------------------------------------------------------------ *)
 (* Figures smoke                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -292,6 +352,14 @@ let () =
           Alcotest.test_case "autotune trace" `Quick test_autotune_trace_shape;
           Alcotest.test_case "autotune explores" `Quick
             test_autotune_applies_configs;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "families + capabilities" `Quick
+            test_registry_metadata;
+          Alcotest.test_case "require" `Quick test_registry_require;
+          Alcotest.test_case "configure capability error" `Quick
+            test_configure_capability_error;
         ] );
       ( "figures",
         [ Alcotest.test_case "all figures smoke" `Slow test_every_figure_smokes ] );

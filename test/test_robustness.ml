@@ -123,6 +123,15 @@ module Inject_tl2 = Failure_injection (struct
   let live_words t = Tl.V.live_words (Tl.memory t)
 end)
 
+module No = Tstm_norec.Norec.Make (R)
+
+module Inject_norec = Failure_injection (struct
+  module T = No
+
+  let make () = No.create ~memory_words:4096 ()
+  let live_words t = No.V.live_words (No.memory t)
+end)
+
 (* ------------------------------------------------------------------ *)
 (* Write-through incarnation overflow                                  *)
 (* ------------------------------------------------------------------ *)
@@ -655,18 +664,40 @@ module Storm = Tstm_harness.Storm
 
 let storm stm cm ~watchdog = Storm.run_one { Storm.default with stm; cm; watchdog }
 
-let all_stms = [ "tinystm-wb"; "tinystm-wt"; "tl2" ]
+module Registry = Tstm_tm.Registry
+
+(* The batteries enumerate the registry rather than naming STMs, so a new
+   registration is tested automatically.  The suicide-livelock pair holds
+   only for lock-array STMs: symmetric hold-and-wait needs at least two
+   locks, so it is gated on [capabilities.lock_array] — a single global
+   sequence lock admits no such cycle (the CAS winner always commits), and
+   that obstruction-freedom is asserted separately below. *)
+let all_stms = Tstm_harness.Scenario.all_stms
+
+let lock_array_stms =
+  List.map
+    (fun e -> e.Registry.name)
+    (Registry.filter (fun e ->
+         e.Registry.capabilities.Tstm_tm.Tm_intf.lock_array))
+
+let seqlock_stms =
+  List.map
+    (fun e -> e.Registry.name)
+    (Registry.filter (fun e ->
+         not e.Registry.capabilities.Tstm_tm.Tm_intf.lock_array))
 
 let test_suicide_livelocks () =
   (* Unmanaged symmetric conflicts: the pairs shadow-box until the deadline
-     and nobody reaches the quota, on every STM variant. *)
+     and nobody reaches the quota, on every lock-array STM. *)
+  check_bool "battery covers at least the seed STMs" true
+    (List.length lock_array_stms >= 3);
   List.iter
     (fun stm ->
       let r = storm stm "suicide" ~watchdog:false in
       check_bool (stm ^ " livelocked") true (not r.Storm.completed);
       check_int (stm ^ " zero commits") 0
         (Array.fold_left ( + ) 0 r.Storm.commits))
-    all_stms
+    lock_array_stms
 
 let test_watchdog_rescues_suicide () =
   List.iter
@@ -677,7 +708,26 @@ let test_watchdog_rescues_suicide () =
       check_bool (stm ^ " degradation engaged") true (r.Storm.switches >= 1);
       check_bool (stm ^ " escalations commit the storm") true
         (r.Storm.escalations >= 1))
-    all_stms
+    lock_array_stms
+
+let test_seqlock_obstruction_free () =
+  (* The flip side of the gate above: the same unmanaged suicide storm that
+     livelocks every lock-array STM completes at full quota on a
+     single-seqlock STM, with no watchdog and no serial escalation. *)
+  check_bool "a seqlock STM is registered" true (seqlock_stms <> []);
+  List.iter
+    (fun stm ->
+      let r = storm stm "suicide" ~watchdog:false in
+      check_bool (stm ^ " suicide storm completed") true r.Storm.completed;
+      Array.iteri
+        (fun tid c ->
+          check_int
+            (Printf.sprintf "%s thread %d met quota" stm tid)
+            Storm.default.Storm.quota c)
+        r.Storm.commits;
+      check_int (stm ^ " no escalations needed") 0 r.Storm.escalations;
+      check_int (stm ^ " no livelock windows") 0 r.Storm.livelocks)
+    seqlock_stms
 
 let test_priority_cms_commit_everything () =
   List.iter
@@ -714,7 +764,7 @@ let () =
       ( "failure injection",
         Inject_wb.tests (Config.strategy_to_string Config.Write_back)
         @ Inject_wt.tests (Config.strategy_to_string Config.Write_through)
-        @ Inject_tl2.tests "tl2" );
+        @ Inject_tl2.tests "tl2" @ Inject_norec.tests "norec" );
       ( "write-through incarnations",
         [ Alcotest.test_case "overflow" `Quick test_incarnation_overflow ] );
       ( "read-only staleness",
@@ -789,6 +839,8 @@ let () =
           Alcotest.test_case "suicide livelocks" `Quick test_suicide_livelocks;
           Alcotest.test_case "watchdog rescues suicide" `Quick
             test_watchdog_rescues_suicide;
+          Alcotest.test_case "seqlock STM is obstruction-free" `Quick
+            test_seqlock_obstruction_free;
           Alcotest.test_case "karma/greedy commit everything" `Quick
             test_priority_cms_commit_everything;
           Alcotest.test_case "serialize commits via escalation" `Quick

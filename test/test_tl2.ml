@@ -3,6 +3,7 @@
    writes invisible before commit). *)
 
 open Tstm_tl2
+module Bloom = Tstm_util.Bloom
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
