@@ -628,6 +628,178 @@ let storm_cmd =
       $ Cli.watchdog_calm_arg ~default:Storm.default.Storm.wd_calm
       $ expect_livelock_flag $ Cli.seed_arg $ Cli.cm_arg $ Cli.jobs_arg)
 
+let fault_cmd =
+  let module FR = Tstm_harness.Fault_run in
+  let module BReal = Tstm_harness.Bench_real in
+  let module Fault = Tstm_fault.Fault in
+  let d = FR.default in
+  let structure_conv =
+    let parse s =
+      match W.structure_of_string s with
+      | Some x -> Ok x
+      | None -> Error (`Msg (Printf.sprintf "unknown structure %S" s))
+    in
+    Arg.conv
+      (parse, fun ppf s -> Format.pp_print_string ppf (W.structure_to_string s))
+  in
+  let structure_arg =
+    Arg.(
+      value
+      & opt structure_conv d.FR.structure
+      & info [ "structure" ] ~docv:"STRUCT"
+          ~doc:"Structure under fault: list, rbtree, skiplist or hashset.")
+  in
+  let kind_conv =
+    Arg.enum
+      [
+        ("crash", `K (Fault.Crash : Fault.kind));
+        ("hang", `K (Fault.Hang : Fault.kind));
+        ("oom", `K (Fault.Oom : Fault.kind));
+        ("all", `All);
+      ]
+  in
+  let kind_arg =
+    Arg.(
+      value
+      & opt kind_conv (`K d.FR.kind)
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Fault kind to arm: crash, hang, oom or all.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Sweep fault-plan seeds SEED..SEED+N-1 (1 = just --seed).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int d.FR.domains
+      & info [ "t"; "domains" ] ~doc:"Worker domains (real hardware).")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int d.FR.per_thread
+      & info [ "ops" ] ~doc:"Operations per worker job.")
+  in
+  let initial_arg =
+    Arg.(
+      value & opt int d.FR.initial_size
+      & info [ "initial" ] ~doc:"Pre-populated structure size.")
+  in
+  let key_range_arg =
+    Arg.(
+      value & opt int d.FR.key_range
+      & info [ "key-range" ] ~doc:"Keys are drawn uniformly from 1..RANGE.")
+  in
+  let update_arg =
+    Arg.(
+      value & opt float d.FR.update_pct
+      & info [ "update" ] ~doc:"Update transaction share, percent.")
+  in
+  let limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"L"
+          ~doc:
+            "Cap the number of fired injections (replaying a prior run's \
+             schedule).")
+  in
+  let expect_heal_flag =
+    Arg.(
+      value & flag
+      & info [ "expect-heal" ]
+          ~doc:
+            "Assert the sweep exercised self-healing: exit non-zero unless \
+             every run healed cleanly $(b,and) at least one injection \
+             fired.")
+  in
+  let run stm all_stms structure kind seeds domains ops initial key_range
+      update limit expect_heal seed =
+    let base =
+      {
+        FR.stm;
+        kind = d.FR.kind;
+        structure;
+        domains;
+        per_thread = ops;
+        key_range;
+        initial_size = initial;
+        update_pct = update;
+        limit;
+        seed;
+      }
+    in
+    let stms = if all_stms then BReal.stm_names else [ stm ] in
+    let kinds =
+      match kind with
+      | `All -> ([ Fault.Crash; Fault.Hang; Fault.Oom ] : Fault.kind list)
+      | `K k -> [ k ]
+    in
+    match FR.plan ~seeds ~stms ~kinds base with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | specs ->
+        (* Real-domain runs cannot be forked into the job pool; the sweep
+           is sequential and in-process. *)
+        let failed = ref false in
+        let total_fired = ref 0 in
+        Array.iter
+          (fun (spec : FR.spec) ->
+            match FR.run_one spec with
+            | exception Invalid_argument msg ->
+                failed := true;
+                Printf.printf "fault: %s\n" msg
+            | r ->
+                total_fired := !total_fired + r.FR.fired;
+                Printf.printf
+                  "fault %s %s %s seed=%d: %d/%d injections fired, %d \
+                   commits, %d crashes healed (%d requeues), %d hangs \
+                   detected / %d recovered, %d alloc aborts, %d capacity \
+                   verdicts -> %s\n"
+                  spec.FR.stm
+                  (Fault.kind_name spec.FR.kind)
+                  (W.structure_to_string spec.FR.structure)
+                  spec.FR.seed r.FR.fired r.FR.decisions r.FR.commits
+                  r.FR.heal.Tstm_runtime.Runtime_real.crashes_healed
+                  r.FR.heal.Tstm_runtime.Runtime_real.requeues
+                  r.FR.heal.Tstm_runtime.Runtime_real.hangs_detected
+                  r.FR.heal.Tstm_runtime.Runtime_real.hangs_recovered
+                  r.FR.aborts_alloc r.FR.capacities
+                  (if FR.healed r then "healed" else "FAILED");
+                if not (FR.healed r) then begin
+                  failed := true;
+                  (match r.FR.error with
+                  | Some e -> Printf.printf "  ESCAPED: %s\n" e
+                  | None -> ());
+                  List.iter
+                    (fun v -> Printf.printf "  VIOLATION: %s\n" v)
+                    r.FR.violations;
+                  if r.FR.leak_words <> 0 then
+                    Printf.printf "  LEAK: %d words after drain\n"
+                      r.FR.leak_words;
+                  Printf.printf "  repro: %s\n" (FR.repro_command spec)
+                end)
+          specs;
+        if expect_heal && !total_fired = 0 then begin
+          failed := true;
+          Printf.printf "fault: --expect-heal, but no injection ever fired\n"
+        end;
+        if !failed then exit 1;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:
+         "Fault-injection sweep on real domains: seeded crash/hang/OOM \
+          plans that the runtime must heal (respawn-and-requeue, bounded \
+          alloc retry) with zero arena drift")
+    Term.(
+      ret
+        (const run $ Cli.real_stm_arg $ Cli.real_all_stms_flag $ structure_arg
+        $ kind_arg $ seeds_arg $ domains_arg $ ops_arg $ initial_arg
+        $ key_range_arg $ update_arg $ limit_arg $ expect_heal_flag
+        $ Cli.seed_arg))
+
 let serve_cmd =
   let module Sv = Tstm_service.Service in
   let module Arrival = Tstm_service.Arrival in
@@ -775,10 +947,120 @@ let serve_cmd =
       & info [ "periods" ]
           ~doc:"Slices in the per-period SLO table (--metrics-csv).")
   in
+  let real_flag =
+    Arg.(
+      value & flag
+      & info [ "real" ]
+          ~doc:
+            "Serve on real domains (Runtime_real) instead of the simulator: \
+             wall-clock arrivals into mutex-protected shard queues, \
+             dispatcher domains, per-request crash-retry budgets and a \
+             fault-fed circuit breaker.  Simulator-only flags (--shed, \
+             --overload, --session, --batch, --watchdog, --record, --san, \
+             --seeds, --metrics-csv, --jobs, --all-stms, --all-sheds) do \
+             not apply.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"S"
+          ~doc:
+            "Arm a crash/hang/OOM fault plan (default rates) with seed \
+             $(docv) for the duration of a --real run.")
+  in
+  let fault_limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-limit" ] ~docv:"L"
+          ~doc:"Cap fired injections of the --real fault plan at $(docv).")
+  in
+  let run_real stm backend workers shards arrival horizon deadline budget
+      queue_cap seed fault_seed fault_limit =
+    let module SR = Tstm_service.Service_real in
+    let module Fault = Tstm_fault.Fault in
+    match backend with
+    | Sv.Vacation ->
+        `Error (false, "serve --real supports the intset backends only")
+    | Sv.Intset structure -> (
+        let spec =
+          {
+            SR.default with
+            SR.stm;
+            workers;
+            shards;
+            structure;
+            arrival;
+            horizon_s = horizon;
+            deadline_s = deadline;
+            fault_budget = budget;
+            queue_cap;
+            seed;
+          }
+        in
+        let armed = fault_seed <> None in
+        (match fault_seed with
+        | Some s ->
+            (* Service-shaped plan: a crash/OOM burst dense enough to trip
+               the breaker within one arrival window (the library default
+               rates are tuned for long benchmark runs).  Hangs are left
+               out — the dispatchers run under plain [R.run], so a hang
+               only adds latency without feeding the breaker.  Use
+               --fault-limit to bound the burst and watch the breaker
+               recover. *)
+            let burst =
+              { Fault.crash_pct = 10.0; hang_pct = 0.0; hang_us = 1;
+                oom_pct = 2.0 }
+            in
+            Fault.activate ~config:burst ?limit:fault_limit ~seed:s ()
+        | None -> ());
+        let fault_note = ref "" in
+        let finish () =
+          if armed then begin
+            fault_note := Fault.summary ();
+            Fault.deactivate ()
+          end
+        in
+        match Fun.protect ~finally:finish (fun () -> SR.run_one spec) with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | r ->
+            Printf.printf
+              "serve --real %s %s seed=%d: offered=%d elapsed=%.3fs \
+               goodput=%.0f/s\n"
+              spec.SR.stm
+              (W.structure_to_string structure)
+              spec.SR.seed r.SR.offered r.SR.elapsed_s r.SR.goodput;
+            print_string
+              (Slo.render
+                 ~cycles_to_ms:(fun c -> float_of_int c *. 1e-6)
+                 r.SR.slo);
+            Printf.printf
+              "  crash faults=%d (retried %d) breaker: %d trip(s), final %s\n"
+              r.SR.crash_faults r.SR.faults_retried r.SR.breaker_trips
+              r.SR.breaker_state;
+            if !fault_note <> "" then
+              Printf.printf "  fault plan: %s\n" !fault_note;
+            if SR.failed r then begin
+              List.iter
+                (fun v -> Printf.printf "  VIOLATION: %s\n" v)
+                r.SR.violations;
+              if r.SR.leak_words <> 0 then
+                Printf.printf "  LEAK: %d words after drain\n" r.SR.leak_words;
+              exit 1
+            end;
+            `Ok ())
+  in
   let run stm all_stms shed all_sheds backend workers shards arrival overload
       session pattern horizon deadline budget queue_cap batch watchdog
       wd_window wd_starve wd_calm record san seeds seed metrics_csv periods
-      jobs =
+      jobs real fault_seed fault_limit =
+    if real then
+      run_real stm backend workers shards arrival horizon deadline budget
+        queue_cap seed fault_seed fault_limit
+    else if fault_seed <> None || fault_limit <> None then
+      `Error (false, "--fault-seed/--fault-limit require --real")
+    else
     let base =
       {
         d with
@@ -897,7 +1179,8 @@ let serve_cmd =
         $ Cli.watchdog_retry_arg ~default:d.Sv.wd_starve
         $ Cli.watchdog_calm_arg ~default:d.Sv.wd_calm
         $ record_flag $ Cli.san_arg $ seeds_arg $ Cli.seed_arg
-        $ Cli.metrics_csv_arg $ periods_arg $ Cli.jobs_arg))
+        $ Cli.metrics_csv_arg $ periods_arg $ Cli.jobs_arg $ real_flag
+        $ fault_seed_arg $ fault_limit_arg))
 
 let () =
   let doc = "TinySTM (PPoPP'08) reproduction: figures and experiments" in
@@ -915,4 +1198,5 @@ let () =
             stress_cmd;
             storm_cmd;
             serve_cmd;
+            fault_cmd;
           ]))

@@ -547,6 +547,15 @@ let run_bench_real ?out ~stms ~structure ~domains ~pattern ~size ~update_pct
                     flush stderr;
                     ok := false)
                   integ.BR.violations;
+                List.iter
+                  (fun (rep, exn_s) ->
+                    prerr_string
+                      (Printf.sprintf
+                         "bench real: FAILED REP %d (%s/%s d=%d): %s\n" rep
+                         stm structure d exn_s);
+                    flush stderr;
+                    ok := false)
+                  integ.BR.failed_reps;
                 Some cell)
           domains)
       stms

@@ -158,6 +158,7 @@ type integrity = {
   ops_total : int;
   commits_total : int;
   violations : string list;
+  failed_reps : (int * string) list;
 }
 
 let rep_seed base rep = Tstm_util.Bitops.mix (base + (0x9e3779b9 * (rep + 1)))
@@ -255,21 +256,35 @@ let run_structure_cell (module M : STM) ~canon ~structure (req : cell_request)
   in
   let cum = Stats.create () in
   let prev = ref (Stats.create ()) in
+  let failed_reps = ref [] in
   let samples =
-    List.init p.reps (fun rep ->
-        let elapsed_s = in_sink (fun () -> phase ~seconds:p.duration_s ~rep) in
-        (* Stats accumulate across repetitions; diff against the previous
-           snapshot for this repetition's sample. *)
-        let now_stats = M.stats t in
-        let commits = now_stats.Stats.commits - !prev.Stats.commits in
-        let aborts = Stats.aborts now_stats - Stats.aborts !prev in
-        prev := Stats.copy now_stats;
-        {
-          Bench.thr = float_of_int commits /. elapsed_s;
-          elapsed_s;
-          commits;
-          aborts;
-        })
+    List.filter_map
+      (fun rep ->
+        match in_sink (fun () -> phase ~seconds:p.duration_s ~rep) with
+        | elapsed_s ->
+            (* Stats accumulate across repetitions; diff against the
+               previous snapshot for this repetition's sample. *)
+            let now_stats = M.stats t in
+            let commits = now_stats.Stats.commits - !prev.Stats.commits in
+            let aborts = Stats.aborts now_stats - Stats.aborts !prev in
+            prev := Stats.copy now_stats;
+            Some
+              {
+                Bench.thr = float_of_int commits /. elapsed_s;
+                elapsed_s;
+                commits;
+                aborts;
+              }
+        | exception e ->
+            (* A raising worker must not abort the whole bench run: [R.run]
+               has already awaited every domain of this repetition, so the
+               pool is reusable.  Record the repetition as a typed failure
+               (it yields no sample) and keep going; the CLI exits non-zero
+               on any failed repetition. *)
+            prev := Stats.copy (M.stats t);
+            failed_reps := (rep, Printexc.to_string e) :: !failed_reps;
+            None)
+      (List.init p.reps Fun.id)
   in
   Stats.add_into ~dst:cum (M.stats t);
   let ops_total = Array.fold_left ( + ) 0 ops_counts in
@@ -310,7 +325,13 @@ let run_structure_cell (module M : STM) ~canon ~structure (req : cell_request)
       stats = cell_stats_json ~observe:p.observe ~shards cum;
     }
   in
-  (cell, { ops_total; commits_total = cum.Stats.commits; violations })
+  ( cell,
+    {
+      ops_total;
+      commits_total = cum.Stats.commits;
+      violations;
+      failed_reps = List.rev !failed_reps;
+    } )
 
 (* The Vacation cell: same protocol, STAMP-style mix, integrity via the
    workload's own transactional audit. *)
@@ -354,19 +375,30 @@ let run_vacation_cell (module M : STM) ~canon (req : cell_request)
     if p.observe then Sink.with_sink (Sink.Sharded shards) f else f ()
   in
   let prev = ref (Stats.create ()) in
+  let failed_reps = ref [] in
   let samples =
-    List.init p.reps (fun rep ->
-        let elapsed_s = in_sink (fun () -> phase ~seconds:p.duration_s ~rep) in
-        let now_stats = M.stats t in
-        let commits = now_stats.Stats.commits - !prev.Stats.commits in
-        let aborts = Stats.aborts now_stats - Stats.aborts !prev in
-        prev := Stats.copy now_stats;
-        {
-          Bench.thr = float_of_int commits /. elapsed_s;
-          elapsed_s;
-          commits;
-          aborts;
-        })
+    List.filter_map
+      (fun rep ->
+        match in_sink (fun () -> phase ~seconds:p.duration_s ~rep) with
+        | elapsed_s ->
+            let now_stats = M.stats t in
+            let commits = now_stats.Stats.commits - !prev.Stats.commits in
+            let aborts = Stats.aborts now_stats - Stats.aborts !prev in
+            prev := Stats.copy now_stats;
+            Some
+              {
+                Bench.thr = float_of_int commits /. elapsed_s;
+                elapsed_s;
+                commits;
+                aborts;
+              }
+        | exception e ->
+            (* Same contract as the structure cell: a raising worker fails
+               this repetition, not the run. *)
+            prev := Stats.copy (M.stats t);
+            failed_reps := (rep, Printexc.to_string e) :: !failed_reps;
+            None)
+      (List.init p.reps Fun.id)
   in
   let cum = Stats.copy (M.stats t) in
   let ops_total = Array.fold_left ( + ) 0 ops_counts in
@@ -397,7 +429,13 @@ let run_vacation_cell (module M : STM) ~canon (req : cell_request)
       stats = cell_stats_json ~observe:p.observe ~shards cum;
     }
   in
-  (cell, { ops_total; commits_total = cum.Stats.commits; violations })
+  ( cell,
+    {
+      ops_total;
+      commits_total = cum.Stats.commits;
+      violations;
+      failed_reps = List.rev !failed_reps;
+    } )
 
 let run_cell (req : cell_request) (p : protocol) =
   if req.domains < 1 then Error "domains must be >= 1"

@@ -23,6 +23,15 @@ val stm_names : string list
     (["tinystm-wb"], ["tinystm-wt"], ["tl2"], ["norec"]); the aliases
     ["wb"] and ["wt"] also resolve. *)
 
+(** A packaged STM over {!Tstm_runtime.Runtime_real} — the real-runtime
+    analogue of the registry's simulated packagings. *)
+module type STM = Tstm_tm.Tm_intf.STM
+
+val find_stm : string -> (string * (module STM), string) result
+(** Resolve a name or alias to its canonical name and packaged module
+    (shared by the bench cells, the fault sweep driver and the real-domain
+    service). *)
+
 type protocol = {
   duration_s : float;  (** length of each timed repetition *)
   warmup_s : float;  (** untimed warmup before the repetitions; 0 = none *)
@@ -54,6 +63,12 @@ type integrity = {
   ops_total : int;  (** operations executed (each exactly one commit) *)
   commits_total : int;  (** merged [Tm_stats.commits] over the timed reps *)
   violations : string list;
+  failed_reps : (int * string) list;
+      (** repetitions whose phase raised, as (rep index, exception).  A
+          raising worker fails its repetition — it yields no sample and the
+          CLI exits non-zero — but never aborts the remaining repetitions:
+          [Runtime_real.run] has already awaited every domain, so the pool
+          stays reusable. *)
 }
 
 val run_cell :

@@ -17,6 +17,9 @@ type t =
   | Tx_livelock of { window : int }
   | Tx_starved of { retries : int }
   | Cm_switch of { level : string }
+  | Tx_fault of { kind : string; point : string }
+  | Pool_heal of { action : string; tid : int }
+  | Breaker_trip of { state : string }
 
 let name = function
   | Tx_begin -> "tx_begin"
@@ -32,6 +35,9 @@ let name = function
   | Tx_livelock _ -> "tx_livelock"
   | Tx_starved _ -> "tx_starved"
   | Cm_switch _ -> "cm_switch"
+  | Tx_fault _ -> "tx_fault"
+  | Pool_heal _ -> "pool_heal"
+  | Breaker_trip _ -> "breaker_trip"
 
 let args = function
   | Tx_begin | Clock_extend | Clock_rollover -> []
@@ -64,3 +70,7 @@ let args = function
   | Tx_livelock { window } -> [ ("window", string_of_int window) ]
   | Tx_starved { retries } -> [ ("retries", string_of_int retries) ]
   | Cm_switch { level } -> [ ("level", level) ]
+  | Tx_fault { kind; point } -> [ ("kind", kind); ("point", point) ]
+  | Pool_heal { action; tid } ->
+      [ ("action", action); ("tid", string_of_int tid) ]
+  | Breaker_trip { state } -> [ ("state", state) ]

@@ -35,6 +35,16 @@ type t =
   | Cm_switch of { level : string }
       (** the watchdog moved the degradation level (and with it the
           effective contention-management policy) *)
+  | Tx_fault of { kind : string; point : string }
+      (** an injected fault fired inside a transaction ([kind] is
+          ["crash"], ["hang"] or ["oom"]; [point] a
+          [Tstm_fault.Fault.point_name] or ["alloc"]) *)
+  | Pool_heal of { action : string; tid : int }
+      (** the real-domain pool healed a worker: ["crash-respawn"],
+          ["hang-detected"], ["hang-recovered"] *)
+  | Breaker_trip of { state : string }
+      (** the service circuit breaker changed state (["open"],
+          ["half-open"], ["closed"]) *)
 
 val name : t -> string
 (** Short stable name, used for Chrome-trace event names. *)

@@ -11,6 +11,8 @@ type verdict =
   | Dropped
   | Budget_exhausted
   | Shed
+  | Faulted
+  | Tripped
 
 let verdict_to_string = function
   | Committed -> "committed"
@@ -19,6 +21,8 @@ let verdict_to_string = function
   | Dropped -> "dropped"
   | Budget_exhausted -> "budget-exhausted"
   | Shed -> "shed"
+  | Faulted -> "faulted"
+  | Tripped -> "tripped"
 
 type t = {
   lat_ok : Histo.t;  (* in-deadline commits *)
@@ -29,6 +33,8 @@ type t = {
   mutable dropped : int;
   mutable budget_exhausted : int;
   mutable shed : int;
+  mutable faulted : int;
+  mutable tripped : int;
 }
 
 let create () =
@@ -41,6 +47,8 @@ let create () =
     dropped = 0;
     budget_exhausted = 0;
     shed = 0;
+    faulted = 0;
+    tripped = 0;
   }
 
 let note t v ~lat_cycles =
@@ -62,6 +70,10 @@ let note t v ~lat_cycles =
       t.budget_exhausted <- t.budget_exhausted + 1;
       Histo.record t.lat_done lat_cycles
   | Shed -> t.shed <- t.shed + 1
+  | Faulted ->
+      t.faulted <- t.faulted + 1;
+      Histo.record t.lat_done lat_cycles
+  | Tripped -> t.tripped <- t.tripped + 1
 
 type summary = {
   requests : int;
@@ -72,6 +84,8 @@ type summary = {
   gave_up : int;
   dropped : int;
   budget_exhausted : int;
+  faulted : int;
+  tripped : int;
   deadline_missed : int;
   p50 : int;
   p99 : int;
@@ -83,9 +97,11 @@ type summary = {
 
 let summary (t : t) =
   let deadline_missed = t.late + t.gave_up + t.dropped in
-  let admitted = t.committed + deadline_missed + t.budget_exhausted in
+  let admitted =
+    t.committed + deadline_missed + t.budget_exhausted + t.faulted
+  in
   {
-    requests = admitted + t.shed;
+    requests = admitted + t.shed + t.tripped;
     admitted;
     shed = t.shed;
     committed = t.committed;
@@ -93,6 +109,8 @@ let summary (t : t) =
     gave_up = t.gave_up;
     dropped = t.dropped;
     budget_exhausted = t.budget_exhausted;
+    faulted = t.faulted;
+    tripped = t.tripped;
     deadline_missed;
     p50 = Histo.percentile t.lat_ok 50.0;
     p99 = Histo.percentile t.lat_ok 99.0;
@@ -113,6 +131,8 @@ let summary_to_json s =
       ("gave_up", Json.Int s.gave_up);
       ("dropped", Json.Int s.dropped);
       ("budget_exhausted", Json.Int s.budget_exhausted);
+      ("faulted", Json.Int s.faulted);
+      ("tripped", Json.Int s.tripped);
       ("deadline_missed", Json.Int s.deadline_missed);
       ("p50_cycles", Json.Int s.p50);
       ("p99_cycles", Json.Int s.p99);
@@ -164,6 +184,10 @@ let render ~cycles_to_ms s =
         (late=%d gave-up=%d dropped=%d) budget-exhausted=%d\n"
        s.requests s.admitted s.shed s.committed s.deadline_missed s.late
        s.gave_up s.dropped s.budget_exhausted);
+  if s.faulted + s.tripped > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "faults: faulted=%d breaker-tripped=%d\n" s.faulted
+         s.tripped);
   Buffer.add_string b
     (Printf.sprintf
        "latency (in-deadline commits): p50=%.3fms p99=%.3fms p999=%.3fms \

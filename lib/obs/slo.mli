@@ -8,9 +8,9 @@
     wall units with their runtime's clock.
 
     The accounting identity every run must satisfy (asserted by the service
-    tests): [requests = shed + admitted] and
-    [admitted = committed + deadline_missed + budget_exhausted], where
-    [deadline_missed = late + gave_up + dropped]. *)
+    tests): [requests = shed + tripped + admitted] and
+    [admitted = committed + deadline_missed + budget_exhausted + faulted],
+    where [deadline_missed = late + gave_up + dropped]. *)
 
 (** The terminal state of one request. *)
 type verdict =
@@ -20,6 +20,10 @@ type verdict =
   | Dropped  (** dequeued already hopeless (deadline-aware shed) *)
   | Budget_exhausted  (** retry budget spent without a commit *)
   | Shed  (** rejected at admission (queue full) *)
+  | Faulted
+      (** admitted but killed by a typed fault (injected crash or arena
+          [Capacity]) after exhausting its fault-retry budget *)
+  | Tripped  (** rejected at admission by an open circuit breaker *)
 
 val verdict_to_string : verdict -> string
 
@@ -42,6 +46,8 @@ type summary = {
   gave_up : int;
   dropped : int;
   budget_exhausted : int;
+  faulted : int;
+  tripped : int;
   deadline_missed : int;  (** [late + gave_up + dropped] *)
   p50 : int;  (** in-deadline commit latency percentiles, cycles *)
   p99 : int;

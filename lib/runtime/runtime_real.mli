@@ -40,3 +40,40 @@
       [Domain.cpu_relax], suitable inside spin loops. *)
 
 include Runtime_intf.S
+
+(** {2 Self-healing runs}
+
+    {!run_healed} is [run] hardened against the fault kinds
+    {!Tstm_fault.Fault} injects: it dispatches {e all} [nthreads] jobs to
+    pool domains and keeps the orchestrating domain as a supervisor that
+    polls worker heartbeats.  A job that dies of
+    [Tstm_fault.Fault.Injected_crash] is healed — the worker is shut down
+    and joined, a fresh domain replaces it in the pool, and the job is
+    requeued (bounded by [max_requeues], after which the crash propagates) —
+    while a worker whose heartbeat goes stale past [hang_timeout_s] is
+    flagged hung and flagged again when it recovers (detection is advisory:
+    injected hangs are bounded spins that resume on their own, and domains
+    cannot be safely killed).  Any other exception is awaited like [run]
+    (every job finishes first) and re-raised first-in-thread-id-order. *)
+
+(** What the supervisor healed during one {!run_healed}. *)
+type heal_report = {
+  crashes_healed : int;  (** workers respawned after an injected crash *)
+  hangs_detected : int;  (** stale-heartbeat flags raised *)
+  hangs_recovered : int;  (** flags cleared (worker resumed or finished) *)
+  requeues : int;  (** jobs resubmitted after a heal *)
+}
+
+val no_heal : heal_report
+(** All-zero report, for callers that ran without healing. *)
+
+val run_healed :
+  ?hang_timeout_s:float ->
+  ?poll_s:float ->
+  ?max_requeues:int ->
+  nthreads:int ->
+  (int -> unit) ->
+  heal_report
+(** Defaults: [hang_timeout_s = 0.05], [poll_s = 0.001],
+    [max_requeues = 128].  Not reentrant with itself or [run]
+    ([Invalid_argument]). *)

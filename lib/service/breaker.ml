@@ -1,0 +1,103 @@
+(* Calm-window circuit breaker: Closed -> (fault burst) Open -> (cooldown)
+   Half_open -> (calm window) Closed.  Mirrors the watchdog's calm-window
+   recovery discipline at the request level; mutated only under the
+   service's dispatch mutex. *)
+
+type state = Closed | Open | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type config = {
+  fault_threshold : int;
+  window_s : float;
+  cooldown_s : float;
+  calm : int;
+}
+
+let default =
+  { fault_threshold = 5; window_s = 0.05; cooldown_s = 0.02; calm = 8 }
+
+type t = {
+  cfg : config;
+  on_transition : state -> unit;
+  faults : float Queue.t;  (* timestamps of recent faults, ascending *)
+  mutable st : state;
+  mutable opened_at : float;
+  mutable calm_count : int;
+  mutable trips : int;
+}
+
+let create ?(on_transition = fun _ -> ()) cfg =
+  if cfg.fault_threshold < 1 then
+    invalid_arg "Breaker.create: fault_threshold < 1";
+  if cfg.window_s <= 0.0 then invalid_arg "Breaker.create: window_s <= 0";
+  if cfg.cooldown_s <= 0.0 then invalid_arg "Breaker.create: cooldown_s <= 0";
+  if cfg.calm < 1 then invalid_arg "Breaker.create: calm < 1";
+  {
+    cfg;
+    on_transition;
+    faults = Queue.create ();
+    st = Closed;
+    opened_at = 0.0;
+    calm_count = 0;
+    trips = 0;
+  }
+
+let state t = t.st
+let trips t = t.trips
+
+let transition t st =
+  if t.st <> st then begin
+    t.st <- st;
+    t.on_transition st
+  end
+
+let prune t ~now =
+  while
+    (not (Queue.is_empty t.faults))
+    && Queue.peek t.faults < now -. t.cfg.window_s
+  do
+    ignore (Queue.pop t.faults)
+  done
+
+let trip t ~now =
+  t.opened_at <- now;
+  t.calm_count <- 0;
+  t.trips <- t.trips + 1;
+  transition t Open
+
+let on_fault t ~now =
+  Queue.push now t.faults;
+  prune t ~now;
+  match t.st with
+  | Closed -> if Queue.length t.faults >= t.cfg.fault_threshold then trip t ~now
+  | Half_open ->
+      (* A fault while probing: straight back to Open, fresh cooldown. *)
+      trip t ~now
+  | Open -> ()
+
+let on_success t ~now =
+  match t.st with
+  | Half_open ->
+      t.calm_count <- t.calm_count + 1;
+      if t.calm_count >= t.cfg.calm then begin
+        Queue.clear t.faults;
+        prune t ~now;
+        transition t Closed
+      end
+  | Closed | Open -> ()
+
+let admit t ~now =
+  match t.st with
+  | Closed -> true
+  | Half_open -> true
+  | Open ->
+      if now -. t.opened_at >= t.cfg.cooldown_s then begin
+        t.calm_count <- 0;
+        transition t Half_open;
+        true
+      end
+      else false

@@ -25,6 +25,19 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   let chaos_on () = Chaos.enabled ()
 
+  (* Real-domain fault injection: same one-boolean-load discipline.  A
+     disarmed plan leaves every run (sim and real) byte-identical. *)
+  module Fault = Tstm_fault.Fault
+  module Intf = Tstm_tm.Tm_intf
+
+  let fault_on () = Fault.enabled ()
+
+  (* Consecutive allocation-failed aborts tolerated per [atomically] call
+     before the transaction gives up with a typed [Tm_intf.Capacity]
+     (retrying forever on a genuinely full arena would livelock; serial
+     escalation cannot help because the fence does not free memory). *)
+  let max_alloc_retries = 16
+
   (* Sanitizer: explicit sync-edge annotations at the operations that
      really order transactions (orec CAS/release, clock fetch_add/read,
      quiescence fence).  Same discipline as obs: one boolean load when
@@ -104,6 +117,8 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     mutable eff_cm : Cm.policy;  (* effective policy for this attempt *)
     mutable work0 : int;  (* reads+writes at last commit (karma base) *)
     mutable ticket : int;  (* greedy seniority ticket; 0 = none drawn *)
+    mutable alloc_fails : int;
+      (* consecutive Alloc_failed aborts of the current atomically call *)
   }
 
   and t = {
@@ -244,6 +259,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         eff_cm = t.cm;
         work0 = 0;
         ticket = 0;
+        alloc_fails = 0;
         hmask2 = Hmask.create 1;
         hsnap2 = [||];
         own_inc2 = [||];
@@ -526,6 +542,28 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   let abort reason = raise (Abort_exn reason)
 
+  (* Injected-fault consultation at a linearization point.  A [Crash]
+     outcome unwinds through the user-exception path of [atomically] —
+     full rollback, locks released, speculative allocations freed — so a
+     dying worker never corrupts shared STM state; a [Hang] stalls
+     wall-clock without heartbeat ticks, so the pool monitor can see the
+     worker go stale. *)
+  let fault_point d p =
+    match Fault.at_point ~tid:d.tid p with
+    | Fault.Proceed -> ()
+    | Fault.Crash ->
+        d.stats.Stats.faults_crash <- d.stats.Stats.faults_crash + 1;
+        if obs_on () then
+          emit
+            (Obs.Event.Tx_fault { kind = "crash"; point = Fault.point_name p });
+        raise (Fault.Injected_crash { tid = d.tid; point = Fault.point_name p })
+    | Fault.Hang ns ->
+        d.stats.Stats.faults_hang <- d.stats.Stats.faults_hang + 1;
+        if obs_on () then
+          emit
+            (Obs.Event.Tx_fault { kind = "hang"; point = Fault.point_name p });
+        Fault.hang ~ns
+
   (* Bounded wait on a foreign lock (paper §3.1: "the transaction can try to
      wait for some time or abort immediately" — the paper picks immediate
      abort, our default; [conflict_wait] attempts enable the alternative).
@@ -772,10 +810,22 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
   (* ------------------------------------------------------------------ *)
 
   let alloc_words t d n =
-    let addr = V.alloc t.mem n in
-    G.push d.a_addr addr;
-    G.push d.a_size n;
-    addr
+    match V.alloc t.mem n with
+    | addr ->
+        G.push d.a_addr addr;
+        G.push d.a_size n;
+        addr
+    | exception Out_of_memory ->
+        (* Arena exhaustion (genuine or injected) mid-transaction: nothing
+           was mutated by this failed call, so the rollback path frees any
+           earlier speculative allocations and [live_words] cannot drift.
+           Irrevocable transactions cannot be rolled back, so the failure
+           escalates straight to the typed [Capacity] verdict. *)
+        if obs_on () then
+          emit (Obs.Event.Tx_fault { kind = "oom"; point = "alloc" });
+        if d.irrevocable then
+          raise (Intf.Capacity { stm = "tinystm"; retries = d.alloc_fails })
+        else abort Stats.Alloc_failed
 
   (* A free is semantically an update: acquire every covering lock (by
      writing back the current values) so no concurrent reader can observe
@@ -1001,6 +1051,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
   let atomically_stamped ?(read_only = false) t f =
     let d = desc_for t in
     if d.in_tx then invalid_arg "Tinystm.atomically: nested transaction";
+    d.alloc_fails <- 0;
     let rec attempt tries =
       let forced_serial =
         match t.watchdog with
@@ -1040,7 +1091,13 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
           emit Obs.Event.Tx_begin
         end;
         match
+          (* Fault taps live inside this match so an injected crash unwinds
+             through the user-exception branch below: rollback, fence
+             release, [in_tx] cleared — the respawned worker can transact
+             again. *)
+          if fault_on () then fault_point d Fault.Clock_read;
           let v = f d in
+          if fault_on () then fault_point d Fault.Commit;
           commit t d;
           v
         with
@@ -1073,6 +1130,19 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
             rollback ~record:reason t d;
             leave_fence t d;
             if chaos_on () then chaos_point Chaos.Abort;
+            if fault_on () then fault_point d Fault.Abort;
+            (* Allocation-failed aborts are capped: after
+               [max_alloc_retries] consecutive failures the arena is
+               genuinely full and retrying cannot help, so escalate to the
+               typed [Capacity] verdict (shared state is already rolled
+               back and consistent at this point). *)
+            if reason = Stats.Alloc_failed then begin
+              d.alloc_fails <- d.alloc_fails + 1;
+              if d.alloc_fails >= max_alloc_retries then
+                raise
+                  (Intf.Capacity { stm = "tinystm"; retries = d.alloc_fails })
+            end
+            else d.alloc_fails <- 0;
             note_abort_wd t d ~retries:(tries + 1);
             if reason = Stats.Rollover then do_rollover t
             else if Cm.delay_after_abort d.eff_cm then backoff d tries;
@@ -1092,6 +1162,12 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     and escalate tries =
       d.stats.Stats.escalations <- d.stats.Stats.escalations + 1;
       if obs_on () then emit (Obs.Event.Tx_escalate { retries = tries });
+      (* The serial-irrevocable path cannot be rolled back, so injected
+         faults are masked for its duration (the mask is per-thread and
+         depth-counted; [Fun.protect] guarantees the unmask even when the
+         body raises). *)
+      Fault.mask ~tid:d.tid;
+      Fun.protect ~finally:(fun () -> Fault.unmask ~tid:d.tid) @@ fun () ->
       fence_and t (fun () ->
           R.charge_local c_tx_begin;
           d.in_tx <- true;

@@ -29,6 +29,17 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   let san_on () = San.enabled ()
 
+  (* Injected faults (crash/hang/OOM) at linearization points — same
+     one-boolean-load guard as obs/chaos; see [Tstm_fault.Fault]. *)
+  module Fault = Tstm_fault.Fault
+  module Intf = Tstm_tm.Tm_intf
+
+  let fault_on () = Fault.enabled ()
+
+  (* Consecutive allocation-failed aborts tolerated before escalating to the
+     typed [Tm_intf.Capacity] verdict. *)
+  let max_alloc_retries = 16
+
   (* Contention management (same plumbing discipline as TinySTM, adapted to
      commit-time locking: a locked orec always belongs to a transaction that
      is mid-commit and therefore finite and unkillable, so the kill-capable
@@ -88,6 +99,8 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     mutable eff_cm : Cm.policy;  (* effective policy for this attempt *)
     mutable work0 : int;  (* reads+writes at last commit (karma base) *)
     mutable ticket : int;  (* greedy seniority ticket; 0 = none drawn *)
+    mutable alloc_fails : int;
+      (* consecutive allocation-failed aborts of the current transaction *)
   }
 
   and t = {
@@ -179,6 +192,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
       eff_cm = t.cm;
       work0 = 0;
       ticket = 0;
+      alloc_fails = 0;
     }
 
   let desc_for t =
@@ -205,6 +219,25 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     d.in_tx <- false
 
   let abort reason = raise (Abort_exn reason)
+
+  (* Injected-fault consultation at a linearization point (same contract as
+     TinySTM's: crash unwinds through the user-exception path with a full
+     rollback; hang stalls wall-clock without heartbeat ticks). *)
+  let fault_point d p =
+    match Fault.at_point ~tid:d.tid p with
+    | Fault.Proceed -> ()
+    | Fault.Crash ->
+        d.stats.Stats.faults_crash <- d.stats.Stats.faults_crash + 1;
+        if obs_on () then
+          emit
+            (Obs.Event.Tx_fault { kind = "crash"; point = Fault.point_name p });
+        raise (Fault.Injected_crash { tid = d.tid; point = Fault.point_name p })
+    | Fault.Hang ns ->
+        d.stats.Stats.faults_hang <- d.stats.Stats.faults_hang + 1;
+        if obs_on () then
+          emit
+            (Obs.Event.Tx_fault { kind = "hang"; point = Fault.point_name p });
+        Fault.hang ~ns
 
   let rec wait_bounded t li attempts =
     if attempts <= 0 then false
@@ -376,10 +409,22 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
   (* ------------------------------------------------------------------ *)
 
   let alloc_words t d n =
-    let addr = V.alloc t.mem n in
-    G.push d.a_addr addr;
-    G.push d.a_size n;
-    addr
+    match V.alloc t.mem n with
+    | addr ->
+        G.push d.a_addr addr;
+        G.push d.a_size n;
+        addr
+    | exception Out_of_memory ->
+        (* Arena exhaustion (genuine or injected) mid-transaction: the
+           failed call mutated nothing, so rollback frees earlier
+           speculative allocations and [live_words] cannot drift.
+           Irrevocable transactions cannot roll back, so escalate straight
+           to the typed [Capacity] verdict. *)
+        if obs_on () then
+          emit (Obs.Event.Tx_fault { kind = "oom"; point = "alloc" });
+        if d.irrevocable then
+          raise (Intf.Capacity { stm = "tl2"; retries = d.alloc_fails })
+        else abort Stats.Alloc_failed
 
   (* A free is an update: rewrite the block so commit acquires its locks.
      Inside the fence there is no concurrency and the free is just deferred
@@ -623,6 +668,7 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
   let atomically ?(read_only = false) t f =
     let d = desc_for t in
     if d.in_tx then invalid_arg "Tl2.atomically: nested transaction";
+    d.alloc_fails <- 0;
     let rec attempt tries =
       let forced_serial =
         match t.watchdog with
@@ -650,7 +696,13 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
         emit Obs.Event.Tx_begin
       end;
       match
+        (* Fault taps live inside this match so an injected crash unwinds
+           through the user-exception branch below: rollback, fence
+           release, [in_tx] cleared — the respawned worker can transact
+           again. *)
+        if fault_on () then fault_point d Fault.Clock_read;
         let v = f d in
+        if fault_on () then fault_point d Fault.Commit;
         commit t d;
         v
       with
@@ -682,6 +734,17 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
           rollback ~record:reason t d;
           leave_fence t d;
           if chaos_on () then chaos_point Chaos.Abort;
+          if fault_on () then fault_point d Fault.Abort;
+          (* Allocation-failed aborts are capped: after [max_alloc_retries]
+             consecutive failures the arena is genuinely full and retrying
+             cannot help — escalate to the typed [Capacity] verdict (shared
+             state is already rolled back here). *)
+          if reason = Stats.Alloc_failed then begin
+            d.alloc_fails <- d.alloc_fails + 1;
+            if d.alloc_fails >= max_alloc_retries then
+              raise (Intf.Capacity { stm = "tl2"; retries = d.alloc_fails })
+          end
+          else d.alloc_fails <- 0;
           note_abort_wd t d ~retries:(tries + 1);
           if Cm.delay_after_abort d.eff_cm then backoff d tries;
           attempt (tries + 1)
@@ -696,6 +759,10 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
     and escalate tries =
       d.stats.Stats.escalations <- d.stats.Stats.escalations + 1;
       if obs_on () then emit (Obs.Event.Tx_escalate { retries = tries });
+      (* The serial-irrevocable path cannot be rolled back: mask injected
+         faults for its duration ([Fun.protect] guarantees the unmask). *)
+      Fault.mask ~tid:d.tid;
+      Fun.protect ~finally:(fun () -> Fault.unmask ~tid:d.tid) @@ fun () ->
       fence_and t (fun () ->
           R.charge_local c_tx_begin;
           d.in_tx <- true;

@@ -51,12 +51,26 @@ exception Capability_error of { stm : string; capability : string }
 let capability_error ~stm ~capability =
   raise (Capability_error { stm; capability })
 
+(** Raised by [atomically] when the arena cannot satisfy a transactional
+    allocation: either the allocation-failed abort/retry loop exhausted its
+    budget ([retries] consecutive [Out_of_memory] aborts), or the
+    allocation failed inside a serial-irrevocable escalation (where nothing
+    can be rolled back).  A typed verdict instead of an escaped
+    [Out_of_memory]: callers account it (service layer: a [Faulted]
+    request) rather than dying. *)
+exception Capacity of { stm : string; retries : int }
+
 let () =
   Printexc.register_printer (function
     | Capability_error { stm; capability } ->
         Some
           (Printf.sprintf "STM %S does not support %s (capability error)" stm
              capability)
+    | Capacity { stm; retries } ->
+        Some
+          (Printf.sprintf
+             "STM %S out of arena capacity (%d allocation-failed retries)" stm
+             retries)
     | _ -> None)
 
 module type TM = sig

@@ -4,6 +4,7 @@ type abort_reason =
   | Validation_failed
   | Rollover
   | Killed
+  | Alloc_failed
 
 let abort_reason_to_string = function
   | Read_conflict -> "read-conflict"
@@ -11,9 +12,17 @@ let abort_reason_to_string = function
   | Validation_failed -> "validation"
   | Rollover -> "rollover"
   | Killed -> "killed"
+  | Alloc_failed -> "alloc-failed"
 
 let all_abort_reasons =
-  [ Read_conflict; Write_conflict; Validation_failed; Rollover; Killed ]
+  [
+    Read_conflict;
+    Write_conflict;
+    Validation_failed;
+    Rollover;
+    Killed;
+    Alloc_failed;
+  ]
 
 let retry_hist_buckets = 16
 
@@ -45,6 +54,9 @@ type t = {
   mutable escalations : int;
   mutable backoff_cycles : int;
   mutable aborts_killed : int;
+  mutable aborts_alloc : int;
+  mutable faults_crash : int;
+  mutable faults_hang : int;
   mutable max_retries_seen : int;
   mutable cm_switches : int;
   retry_hist : int array;
@@ -67,6 +79,9 @@ let create () =
     escalations = 0;
     backoff_cycles = 0;
     aborts_killed = 0;
+    aborts_alloc = 0;
+    faults_crash = 0;
+    faults_hang = 0;
     max_retries_seen = 0;
     cm_switches = 0;
     retry_hist = Array.make retry_hist_buckets 0;
@@ -88,13 +103,16 @@ let reset t =
   t.escalations <- 0;
   t.backoff_cycles <- 0;
   t.aborts_killed <- 0;
+  t.aborts_alloc <- 0;
+  t.faults_crash <- 0;
+  t.faults_hang <- 0;
   t.max_retries_seen <- 0;
   t.cm_switches <- 0;
   Array.fill t.retry_hist 0 retry_hist_buckets 0
 
 let aborts t =
   t.aborts_read_conflict + t.aborts_write_conflict + t.aborts_validation
-  + t.aborts_rollover + t.aborts_killed
+  + t.aborts_rollover + t.aborts_killed + t.aborts_alloc
 
 let record_abort t = function
   | Read_conflict -> t.aborts_read_conflict <- t.aborts_read_conflict + 1
@@ -102,6 +120,7 @@ let record_abort t = function
   | Validation_failed -> t.aborts_validation <- t.aborts_validation + 1
   | Rollover -> t.aborts_rollover <- t.aborts_rollover + 1
   | Killed -> t.aborts_killed <- t.aborts_killed + 1
+  | Alloc_failed -> t.aborts_alloc <- t.aborts_alloc + 1
 
 let record_retries t retries =
   if retries > t.max_retries_seen then t.max_retries_seen <- retries;
@@ -125,6 +144,9 @@ let add_into ~dst t =
   dst.escalations <- dst.escalations + t.escalations;
   dst.backoff_cycles <- dst.backoff_cycles + t.backoff_cycles;
   dst.aborts_killed <- dst.aborts_killed + t.aborts_killed;
+  dst.aborts_alloc <- dst.aborts_alloc + t.aborts_alloc;
+  dst.faults_crash <- dst.faults_crash + t.faults_crash;
+  dst.faults_hang <- dst.faults_hang + t.faults_hang;
   if t.max_retries_seen > dst.max_retries_seen then
     dst.max_retries_seen <- t.max_retries_seen;
   dst.cm_switches <- dst.cm_switches + t.cm_switches;
@@ -160,6 +182,9 @@ let to_json t =
       ("aborts_validation", Json.Int t.aborts_validation);
       ("aborts_rollover", Json.Int t.aborts_rollover);
       ("aborts_killed", Json.Int t.aborts_killed);
+      ("aborts_alloc", Json.Int t.aborts_alloc);
+      ("faults_crash", Json.Int t.faults_crash);
+      ("faults_hang", Json.Int t.faults_hang);
       ("reads", Json.Int t.reads);
       ("writes", Json.Int t.writes);
       ("extensions", Json.Int t.extensions);
@@ -182,6 +207,13 @@ let of_json j =
     | Some n -> Ok n
     | None -> Error (Printf.sprintf "Tm_stats.of_json: missing int field %S" k)
   in
+  (* Fields added after a snapshot schema has been published parse as 0
+     when absent, so older BENCH_*.json baselines keep loading. *)
+  let int0 k =
+    match Option.bind (Json.member k j) Json.to_int with
+    | Some n -> Ok n
+    | None -> Ok 0
+  in
   let* commits = int "commits" in
   let* commits_read_only = int "commits_read_only" in
   let* aborts_read_conflict = int "aborts_read_conflict" in
@@ -189,6 +221,9 @@ let of_json j =
   let* aborts_validation = int "aborts_validation" in
   let* aborts_rollover = int "aborts_rollover" in
   let* aborts_killed = int "aborts_killed" in
+  let* aborts_alloc = int0 "aborts_alloc" in
+  let* faults_crash = int0 "faults_crash" in
+  let* faults_hang = int0 "faults_hang" in
   let* reads = int "reads" in
   let* writes = int "writes" in
   let* extensions = int "extensions" in
@@ -220,6 +255,9 @@ let of_json j =
   t.aborts_validation <- aborts_validation;
   t.aborts_rollover <- aborts_rollover;
   t.aborts_killed <- aborts_killed;
+  t.aborts_alloc <- aborts_alloc;
+  t.faults_crash <- faults_crash;
+  t.faults_hang <- faults_hang;
   t.reads <- reads;
   t.writes <- writes;
   t.extensions <- extensions;
@@ -249,14 +287,17 @@ let pp_retry_hist ppf t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "commits=%d (ro=%d) aborts=%d [rc=%d wc=%d val=%d roll=%d kill=%d] \
-     reads=%d writes=%d ext=%d validations=%d val-locks processed=%d \
-     skipped=%d escalations=%d backoff-cycles=%d max-retries=%d \
-     cm-switches=%d retry-hist=%a | abort-rate=%.1f%% reads/commit=%.1f \
-     writes/commit=%.1f"
+    "commits=%d (ro=%d) aborts=%d [rc=%d wc=%d val=%d roll=%d kill=%d \
+     alloc=%d] reads=%d writes=%d ext=%d validations=%d val-locks \
+     processed=%d skipped=%d escalations=%d backoff-cycles=%d \
+     max-retries=%d cm-switches=%d retry-hist=%a | abort-rate=%.1f%% \
+     reads/commit=%.1f writes/commit=%.1f"
     t.commits t.commits_read_only (aborts t) t.aborts_read_conflict
     t.aborts_write_conflict t.aborts_validation t.aborts_rollover
-    t.aborts_killed t.reads t.writes t.extensions t.validations
+    t.aborts_killed t.aborts_alloc t.reads t.writes t.extensions t.validations
     t.val_locks_processed t.val_locks_skipped t.escalations t.backoff_cycles
     t.max_retries_seen t.cm_switches pp_retry_hist t (abort_rate_pct t)
-    (reads_per_commit t) (writes_per_commit t)
+    (reads_per_commit t) (writes_per_commit t);
+  if t.faults_crash + t.faults_hang > 0 then
+    Format.fprintf ppf " faults[crash=%d hang=%d]" t.faults_crash
+      t.faults_hang

@@ -10,6 +10,11 @@ type abort_reason =
   | Validation_failed  (** commit-time (or extension) validation failed *)
   | Rollover  (** aborted to participate in a clock roll-over fence *)
   | Killed  (** aborted remotely by a contention manager's kill decision *)
+  | Alloc_failed
+      (** a transactional allocation raised [Out_of_memory] (arena
+          exhaustion or an injected fault); rolled back cleanly and
+          retried with backoff, escalating to [Tm_intf.Capacity] after a
+          bounded number of consecutive failures *)
 
 val abort_reason_to_string : abort_reason -> string
 val all_abort_reasons : abort_reason list
@@ -43,6 +48,12 @@ type t = {
   mutable backoff_cycles : int;  (** cycles spent in contention back-off *)
   mutable aborts_killed : int;
       (** aborts forced remotely by a kill-capable contention manager *)
+  mutable aborts_alloc : int;
+      (** aborts from failed transactional allocations ([Alloc_failed]) *)
+  mutable faults_crash : int;
+      (** injected worker crashes observed by this thread's transactions *)
+  mutable faults_hang : int;
+      (** injected bounded hangs observed by this thread's transactions *)
   mutable max_retries_seen : int;
       (** worst per-transaction retry count before a commit — the fairness
           headline: a large value with a healthy abort rate means one
@@ -88,7 +99,9 @@ val to_json : t -> Tstm_obs.Json.t
 
 val of_json : Tstm_obs.Json.t -> (t, string) result
 (** Inverse of {!to_json}; [Error] names the first missing or ill-typed
-    field.  A [retry_hist] longer than {!retry_hist_buckets} is truncated. *)
+    field.  A [retry_hist] longer than {!retry_hist_buckets} is truncated.
+    Fault-era fields ([aborts_alloc], [faults_crash], [faults_hang])
+    default to 0 when absent so pre-fault snapshots keep loading. *)
 
 val pp : Format.formatter -> t -> unit
 (** Raw counters followed by the derived ratios, so a plain run's stats

@@ -1,4 +1,5 @@
 module Tap = Tstm_runtime.Tap
+module Fault = Tstm_fault.Fault
 
 module Make (R : Tstm_runtime.Runtime_intf.S) = struct
   let max_class = 256
@@ -86,6 +87,10 @@ module Make (R : Tstm_runtime.Runtime_intf.S) = struct
 
   let alloc t n =
     if n < 1 then invalid_arg "Vmm.alloc: size < 1";
+    (* Injected allocation failure fires before any allocator state is
+       touched, so a faulted alloc is indistinguishable from genuine
+       exhaustion and leaves the accounting intact by construction. *)
+    if Fault.enabled () && Fault.oom ~tid:(R.tid ()) then raise Out_of_memory;
     let base =
       Tap.suspend ();
       Fun.protect ~finally:Tap.resume (fun () ->

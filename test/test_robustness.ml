@@ -91,6 +91,27 @@ module Failure_injection (I : INSTANCE) = struct
      with Boom -> ());
     check_int "no leak" live_before (I.live_words t)
 
+  (* Genuine arena exhaustion mid-transaction: the allocation-failed abort
+     retries in place, escalates to the typed [Capacity] verdict once the
+     bounded retry budget runs out, and leaks nothing — [live_words] stays
+     exactly where the last successful transaction left it. *)
+  let test_arena_exhaustion_leaks_nothing () =
+    let t = I.make () in
+    let last_live = ref (I.live_words t) in
+    let rec fill n =
+      if n > 1000 then Alcotest.fail "arena never filled"
+      else
+        match T.atomically t (fun tx -> ignore (T.alloc tx 96)) with
+        | () ->
+            last_live := I.live_words t;
+            fill (n + 1)
+        | exception Tstm_tm.Tm_intf.Capacity { retries; _ } ->
+            check_bool "escalated after the bounded retry budget" true
+              (retries >= 16);
+            check_int "no leak at exhaustion" !last_live (I.live_words t)
+    in
+    fill 0
+
   let tests tag =
     [
       Alcotest.test_case (tag ^ ": abort after every prefix") `Quick
@@ -99,6 +120,8 @@ module Failure_injection (I : INSTANCE) = struct
         test_abort_restores_oldest;
       Alcotest.test_case (tag ^ ": abort with fresh alloc") `Quick
         test_abort_with_writes_to_fresh_alloc;
+      Alcotest.test_case (tag ^ ": arena exhaustion leaks nothing") `Quick
+        test_arena_exhaustion_leaks_nothing;
     ]
 end
 

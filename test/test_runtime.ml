@@ -345,6 +345,149 @@ let test_sim_deterministic_parallel_counter () =
   in
   check_bool "identical traces" true (trace () = trace ())
 
+(* ------------------------------------------------------------------ *)
+(* Runtime_real edge contracts                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_real_run_non_reentrant () =
+  match
+    Runtime_real.run ~nthreads:1 (fun _ ->
+        Runtime_real.run ~nthreads:1 (fun _ -> ()))
+  with
+  | () -> Alcotest.fail "nested run was accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_real_pool_reuse_after_raise () =
+  (* A raising job must fail that run, not poison the pool. *)
+  (match Runtime_real.run ~nthreads:2 (fun tid -> if tid = 1 then failwith "boom")
+   with
+  | () -> Alcotest.fail "job exception was swallowed"
+  | exception Failure m -> Alcotest.(check string) "the job's error" "boom" m);
+  let sum = Atomic.make 0 in
+  Runtime_real.run ~nthreads:4 (fun tid ->
+      ignore (Atomic.fetch_and_add sum tid));
+  check_int "pool is reusable after the failure" 6 (Atomic.get sum)
+
+let test_real_first_error_in_tid_order () =
+  (* Several jobs raise; the error surfaced must be the lowest tid's,
+     independent of wall-clock finishing order. *)
+  match
+    Runtime_real.run ~nthreads:4 (fun tid ->
+        if tid >= 1 then failwith (Printf.sprintf "tid%d" tid))
+  with
+  | () -> Alcotest.fail "no error propagated"
+  | exception Failure m ->
+      Alcotest.(check string) "lowest-tid error wins" "tid1" m
+
+let test_healed_rejects_bad_nthreads () =
+  match Runtime_real.run_healed ~nthreads:0 (fun _ -> ()) with
+  | _ -> Alcotest.fail "nthreads = 0 was accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_healed_respawns_crashed_workers () =
+  (* Every worker crashes on its first execution; the respawned replay
+     completes.  The report must account for one heal per tid and the
+     replays must actually have run. *)
+  let n = 3 in
+  let crashed = Array.init n (fun _ -> Atomic.make false) in
+  let completed = Array.init n (fun _ -> Atomic.make 0) in
+  let r =
+    Runtime_real.run_healed ~nthreads:n (fun tid ->
+        if not (Atomic.exchange crashed.(tid) true) then
+          raise
+            (Tstm_fault.Fault.Injected_crash { tid; point = "test" });
+        Atomic.incr completed.(tid))
+  in
+  check_int "one crash healed per tid" n r.Runtime_real.crashes_healed;
+  check_int "one requeue per tid" n r.Runtime_real.requeues;
+  Array.iteri
+    (fun tid c ->
+      check_int (Printf.sprintf "tid %d replay completed" tid) 1 (Atomic.get c))
+    completed
+
+let test_healed_requeue_budget_bounds_crash_loops () =
+  (* A job that crashes on every execution must not requeue forever: the
+     budget runs out and the crash propagates as that worker's error. *)
+  match
+    Runtime_real.run_healed ~max_requeues:3 ~nthreads:1 (fun tid ->
+        raise (Tstm_fault.Fault.Injected_crash { tid; point = "test" }))
+  with
+  | _ -> Alcotest.fail "endless crash loop terminated without error"
+  | exception Tstm_fault.Fault.Injected_crash _ -> ()
+
+let test_healed_propagates_non_crash_errors () =
+  (* Only injected crashes are healed; a plain job exception fails the
+     run (first in tid order) without any respawn. *)
+  match
+    Runtime_real.run_healed ~nthreads:2 (fun tid ->
+        if tid = 1 then failwith "real bug")
+  with
+  | _ -> Alcotest.fail "job exception was swallowed"
+  | exception Failure m -> Alcotest.(check string) "the job's error" "real bug" m
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog calm-window recovery boundaries                           *)
+(* ------------------------------------------------------------------ *)
+
+let wd_level = Alcotest.testable
+    (Fmt.of_to_string Watchdog.level_to_string)
+    ( = )
+
+let check_level = Alcotest.check wd_level
+
+let test_watchdog_calm_boundaries () =
+  (* window=100, recover_windows=2: de-escalation must happen at exactly
+     the second consecutive commit-bearing window boundary, one level per
+     probe: Serialized -> Boosted at t=200, Boosted -> Normal at t=400. *)
+  let w = Watchdog.create ~window:100 ~starve_retries:4 ~recover_windows:2 () in
+  ignore (Watchdog.note_abort w ~now:0 ~tid:0 ~retries:4);
+  ignore (Watchdog.note_abort w ~now:0 ~tid:0 ~retries:4);
+  check_level "two starvations escalate to the top" Watchdog.Serialized
+    (Watchdog.level w);
+  ignore (Watchdog.note_commit w ~now:50 ~tid:0);
+  ignore (Watchdog.note_commit w ~now:99 ~tid:0);
+  check_level "inside the first window" Watchdog.Serialized (Watchdog.level w);
+  ignore (Watchdog.note_commit w ~now:100 ~tid:0);
+  check_level "one calm window is not enough" Watchdog.Serialized
+    (Watchdog.level w);
+  ignore (Watchdog.note_commit w ~now:199 ~tid:0);
+  check_level "still inside the second window" Watchdog.Serialized
+    (Watchdog.level w);
+  ignore (Watchdog.note_commit w ~now:200 ~tid:0);
+  check_level "second calm window de-escalates one step" Watchdog.Boosted
+    (Watchdog.level w);
+  ignore (Watchdog.note_commit w ~now:300 ~tid:0);
+  check_level "the probe counter restarts after a step" Watchdog.Boosted
+    (Watchdog.level w);
+  ignore (Watchdog.note_commit w ~now:400 ~tid:0);
+  check_level "two more calm windows reach Normal" Watchdog.Normal
+    (Watchdog.level w);
+  ignore (Watchdog.note_commit w ~now:600 ~tid:0);
+  check_level "Normal is the floor" Watchdog.Normal (Watchdog.level w)
+
+let test_watchdog_livelock_resets_calm () =
+  (* A zero-commit window between two calm windows must reset the probe:
+     recovery needs *consecutive* calm windows. *)
+  let w = Watchdog.create ~window:100 ~starve_retries:4 ~recover_windows:2 () in
+  ignore (Watchdog.note_abort w ~now:0 ~tid:0 ~retries:4);
+  check_level "starvation escalates" Watchdog.Boosted (Watchdog.level w);
+  ignore (Watchdog.note_commit w ~now:50 ~tid:0);
+  (* The abort at 100 closes the commit-bearing window [0, 100): calm = 1.
+     Nothing commits in [100, 200); the abort at 250 closes that window as
+     a livelock, resetting the calm credit and re-escalating. *)
+  ignore (Watchdog.note_abort w ~now:100 ~tid:0 ~retries:1);
+  check_level "calm window alone does not de-escalate" Watchdog.Boosted
+    (Watchdog.level w);
+  ignore (Watchdog.note_abort w ~now:250 ~tid:0 ~retries:1);
+  check_level "livelock re-escalates" Watchdog.Serialized (Watchdog.level w);
+  check_int "livelock counted" 1 (Watchdog.livelocks w);
+  (* Two fresh calm windows only step down one level: the earlier calm
+     credit is gone. *)
+  ignore (Watchdog.note_commit w ~now:260 ~tid:0);
+  ignore (Watchdog.note_commit w ~now:350 ~tid:0);
+  ignore (Watchdog.note_commit w ~now:450 ~tid:0);
+  check_level "reset probe: one step only" Watchdog.Boosted (Watchdog.level w)
+
 let () =
   Alcotest.run "tstm_runtime"
     [
@@ -387,6 +530,30 @@ let () =
         ] );
       ("sim semantics", Sim_semantics.tests);
       ("domains semantics", Real_semantics.tests);
+      ( "runtime_real contracts",
+        [
+          Alcotest.test_case "non-reentrant run" `Quick
+            test_real_run_non_reentrant;
+          Alcotest.test_case "pool reuse after raise" `Quick
+            test_real_pool_reuse_after_raise;
+          Alcotest.test_case "first error in tid order" `Quick
+            test_real_first_error_in_tid_order;
+          Alcotest.test_case "run_healed bad nthreads" `Quick
+            test_healed_rejects_bad_nthreads;
+          Alcotest.test_case "run_healed respawns crashed workers" `Quick
+            test_healed_respawns_crashed_workers;
+          Alcotest.test_case "requeue budget bounds crash loops" `Quick
+            test_healed_requeue_budget_bounds_crash_loops;
+          Alcotest.test_case "non-crash errors propagate" `Quick
+            test_healed_propagates_non_crash_errors;
+        ] );
+      ( "watchdog calm windows",
+        [
+          Alcotest.test_case "recovery boundaries" `Quick
+            test_watchdog_calm_boundaries;
+          Alcotest.test_case "livelock resets calm" `Quick
+            test_watchdog_livelock_resets_calm;
+        ] );
       ( "runtime_sim",
         [
           Alcotest.test_case "virtual clock" `Quick test_sim_now_uses_clock;

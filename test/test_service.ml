@@ -10,6 +10,7 @@
 
 module Service = Tstm_service.Service
 module Arrival = Tstm_service.Arrival
+module Breaker = Tstm_service.Breaker
 module Slo = Tstm_obs.Slo
 module W = Tstm_harness.Workload
 module Storm = Tstm_harness.Storm
@@ -364,6 +365,101 @@ let test_per_period_metrics () =
   check_int "the log covers every verdict" s.Slo.requests
     (Array.length r.Service.log)
 
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker: calm-window state machine at exact boundaries      *)
+(* ------------------------------------------------------------------ *)
+
+let bcfg =
+  { Breaker.fault_threshold = 3; window_s = 1.0; cooldown_s = 0.5; calm = 2 }
+
+let check_state = Alcotest.check (Alcotest.testable
+    (Fmt.of_to_string Breaker.state_to_string) ( = ))
+
+let test_breaker_trips_at_threshold () =
+  let b = Breaker.create bcfg in
+  Breaker.on_fault b ~now:0.0;
+  Breaker.on_fault b ~now:0.1;
+  check_state "two faults stay closed" Breaker.Closed (Breaker.state b);
+  check_bool "closed admits" true (Breaker.admit b ~now:0.2);
+  Breaker.on_fault b ~now:0.2;
+  check_state "third fault trips" Breaker.Open (Breaker.state b);
+  check_int "trip counted" 1 (Breaker.trips b);
+  check_bool "open rejects" false (Breaker.admit b ~now:0.3)
+
+let test_breaker_cooldown_boundary () =
+  let b = Breaker.create bcfg in
+  List.iter (fun now -> Breaker.on_fault b ~now) [ 0.0; 0.0; 0.0 ];
+  check_state "tripped" Breaker.Open (Breaker.state b);
+  check_bool "just before cooldown" false (Breaker.admit b ~now:0.499);
+  check_state "still open" Breaker.Open (Breaker.state b);
+  check_bool "at cooldown probes" true (Breaker.admit b ~now:0.5);
+  check_state "half-open" Breaker.Half_open (Breaker.state b)
+
+let test_breaker_fault_while_probing_retrips () =
+  let b = Breaker.create bcfg in
+  List.iter (fun now -> Breaker.on_fault b ~now) [ 0.0; 0.0; 0.0 ];
+  ignore (Breaker.admit b ~now:0.6);
+  check_state "probing" Breaker.Half_open (Breaker.state b);
+  Breaker.on_success b ~now:0.61;
+  Breaker.on_fault b ~now:0.62;
+  check_state "probe fault re-opens" Breaker.Open (Breaker.state b);
+  check_int "re-open is a trip" 2 (Breaker.trips b);
+  (* The cooldown restarted at the re-trip instant, not the first one. *)
+  check_bool "fresh cooldown" false (Breaker.admit b ~now:1.0);
+  check_bool "fresh cooldown elapses" true (Breaker.admit b ~now:1.12)
+
+let test_breaker_calm_window_closes () =
+  let b = Breaker.create bcfg in
+  List.iter (fun now -> Breaker.on_fault b ~now) [ 0.0; 0.0; 0.0 ];
+  ignore (Breaker.admit b ~now:0.6);
+  Breaker.on_success b ~now:0.7;
+  check_state "calm - 1 stays half-open" Breaker.Half_open (Breaker.state b);
+  Breaker.on_success b ~now:0.8;
+  check_state "calm-th success closes" Breaker.Closed (Breaker.state b);
+  (* Closing cleared the fault window: the old burst cannot combine with
+     fresh faults to re-trip early. *)
+  Breaker.on_fault b ~now:0.9;
+  Breaker.on_fault b ~now:0.91;
+  check_state "window cleared on close" Breaker.Closed (Breaker.state b);
+  Breaker.on_fault b ~now:0.92;
+  check_state "fresh burst re-trips" Breaker.Open (Breaker.state b)
+
+let test_breaker_window_prunes_stale_faults () =
+  let b = Breaker.create bcfg in
+  Breaker.on_fault b ~now:0.0;
+  Breaker.on_fault b ~now:0.1;
+  (* 1.5 is past 0.0 + window and 0.1 + window: both prune; this third
+     fault stands alone and must not trip. *)
+  Breaker.on_fault b ~now:1.5;
+  check_state "stale faults pruned" Breaker.Closed (Breaker.state b);
+  Breaker.on_fault b ~now:1.6;
+  Breaker.on_fault b ~now:1.7;
+  check_state "in-window burst trips" Breaker.Open (Breaker.state b)
+
+let test_breaker_create_validates () =
+  List.iter
+    (fun cfg ->
+      match Breaker.create cfg with
+      | (_ : Breaker.t) -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    [
+      { bcfg with Breaker.fault_threshold = 0 };
+      { bcfg with Breaker.window_s = 0.0 };
+      { bcfg with Breaker.cooldown_s = 0.0 };
+      { bcfg with Breaker.calm = 0 };
+    ]
+
+let test_breaker_transition_callback () =
+  let seen = ref [] in
+  let b = Breaker.create ~on_transition:(fun st -> seen := st :: !seen) bcfg in
+  List.iter (fun now -> Breaker.on_fault b ~now) [ 0.0; 0.0; 0.0 ];
+  ignore (Breaker.admit b ~now:0.6);
+  Breaker.on_success b ~now:0.7;
+  Breaker.on_success b ~now:0.8;
+  Alcotest.(check (list string))
+    "transition order" [ "open"; "half-open"; "closed" ]
+    (List.rev_map Breaker.state_to_string !seen)
+
 let () =
   Alcotest.run "service"
     [
@@ -382,6 +478,23 @@ let () =
           Alcotest.test_case "repro thresholds" `Quick
             test_repro_commands_render_thresholds;
           Alcotest.test_case "spec validation" `Quick test_spec_validation;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "trips at threshold" `Quick
+            test_breaker_trips_at_threshold;
+          Alcotest.test_case "cooldown boundary" `Quick
+            test_breaker_cooldown_boundary;
+          Alcotest.test_case "probe fault re-trips" `Quick
+            test_breaker_fault_while_probing_retrips;
+          Alcotest.test_case "calm window closes" `Quick
+            test_breaker_calm_window_closes;
+          Alcotest.test_case "window prunes" `Quick
+            test_breaker_window_prunes_stale_faults;
+          Alcotest.test_case "create validates" `Quick
+            test_breaker_create_validates;
+          Alcotest.test_case "transition callback" `Quick
+            test_breaker_transition_callback;
         ] );
       ( "overload",
         List.map
